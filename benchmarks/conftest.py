@@ -1,0 +1,49 @@
+"""Shared fixtures for the benchmark harness.
+
+One session-scoped :class:`ExperimentRunner` backs every table/figure
+bench, so experiments that share simulation configurations (Figure 1,
+Figure 3 and Table 3 all use the 8-cycle machine, Figure 2 and Table 2
+share the sweep) are simulated exactly once.  Each bench renders its
+table to ``results/`` so the paper-shaped outputs survive the run.
+
+Ablation benches use a second, lighter runner (reduced workload scale)
+because each ablation point is a distinct machine that shares nothing.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.runner import ExperimentRunner
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    """The paper-scale runner shared by the table/figure benches."""
+    return ExperimentRunner()
+
+
+@pytest.fixture(scope="session")
+def ablation_runner() -> ExperimentRunner:
+    """A lighter runner for the ablation sweeps."""
+    return ExperimentRunner(scale=0.5)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def save_result(results_dir):
+    """Write a rendered experiment table under results/<name>.txt."""
+
+    def _save(name: str, text: str) -> None:
+        (results_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+    return _save

@@ -1,0 +1,55 @@
+"""Ablation: cache-size sweep (paper section 3.3's aside).
+
+"With larger caches, non-sharing misses were reduced, making
+invalidation miss effects much more dominant."  We sweep 8 KB - 128 KB
+at the 8-cycle transfer and check exactly that.
+"""
+
+from dataclasses import replace
+
+from repro.common.config import CacheConfig
+from repro.metrics.formatting import format_table
+from repro.prefetch.strategies import NP
+
+SIZES_KB = (8, 16, 32, 64, 128)
+
+
+def test_ablation_cache_size(benchmark, ablation_runner, save_result):
+    def sweep():
+        out = {}
+        for size_kb in SIZES_KB:
+            machine = replace(
+                ablation_runner.base_machine(),
+                cache=CacheConfig(size_bytes=size_kb * 1024),
+            )
+            run = ablation_runner.run("Mp3d", NP, machine)
+            mc = run.miss_counts
+            refs = run.demand_refs
+            out[size_kb] = {
+                "nonsharing": mc.nonsharing / refs,
+                "invalidation": mc.invalidation / refs,
+                "inval_fraction": mc.invalidation / max(1, mc.cpu_misses),
+            }
+        return out
+
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [
+        [f"{kb} KB", round(r["nonsharing"], 4), round(r["invalidation"], 4), round(r["inval_fraction"], 2)]
+        for kb, r in result.items()
+    ]
+    save_result(
+        "ablation_cache_size",
+        format_table(
+            ["Cache", "Non-sharing MR", "Invalidation MR", "Inval fraction of misses"],
+            rows,
+            title="Ablation: cache size (Mp3d NP, 8-cycle transfer)",
+        ),
+    )
+
+    # Non-sharing misses shrink with cache size ...
+    ns = [result[kb]["nonsharing"] for kb in SIZES_KB]
+    assert ns[0] > 1.5 * ns[-1], ns
+    # ... while the invalidation component's share of misses grows.
+    frac = [result[kb]["inval_fraction"] for kb in SIZES_KB]
+    assert frac[-1] > frac[0], frac
+    assert frac[-1] > 0.6

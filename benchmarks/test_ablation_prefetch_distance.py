@@ -1,0 +1,61 @@
+"""Ablation: prefetch distance sweep (paper section 4.3).
+
+The paper's finding: "prefetching algorithms should strive to receive
+the prefetched data exactly on time" -- short distances leave cheap
+prefetch-in-progress misses, long distances (LPD) trade them for more
+expensive conflict misses and do *not* pay off in execution time.
+"""
+
+from repro.metrics.formatting import format_table
+from repro.prefetch.strategies import NP, PREF
+
+DISTANCES = (25, 50, 100, 200, 400, 800)
+
+
+def test_ablation_prefetch_distance(benchmark, ablation_runner, save_result):
+    machine = ablation_runner.base_machine()  # 8-cycle transfer
+
+    def sweep():
+        out = {}
+        base = ablation_runner.run("Mp3d", NP, machine)
+        for distance in DISTANCES:
+            strategy = PREF.with_distance(distance)
+            run = ablation_runner.run("Mp3d", strategy, machine)
+            mc = run.miss_counts
+            out[distance] = {
+                "relative_exec": run.exec_cycles / base.exec_cycles,
+                "pf_in_progress": mc.prefetch_in_progress / run.demand_refs,
+                "prefetched_lost": (
+                    mc.nonsharing_prefetched
+                    + mc.inval_true_prefetched
+                    + mc.inval_false_prefetched
+                )
+                / run.demand_refs,
+            }
+        return out
+
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [
+        [d, round(r["relative_exec"], 3), round(r["pf_in_progress"], 4), round(r["prefetched_lost"], 4)]
+        for d, r in result.items()
+    ]
+    save_result(
+        "ablation_prefetch_distance",
+        format_table(
+            ["Distance", "Relative exec", "PF-in-progress rate", "Prefetched-lost rate"],
+            rows,
+            title="Ablation: prefetch distance (Mp3d, 8-cycle transfer)",
+        ),
+    )
+
+    # Prefetch-in-progress misses fall monotonically with distance.
+    pip = [result[d]["pf_in_progress"] for d in DISTANCES]
+    assert pip[0] > pip[-1]
+    assert all(b <= a + 1e-4 for a, b in zip(pip, pip[1:])), pip
+    # Prefetched-but-lost misses grow with distance.
+    lost = [result[d]["prefetched_lost"] for d in DISTANCES]
+    assert lost[-1] > lost[1]
+    # The long distances do not beat the on-time distance on exec time.
+    assert result[800]["relative_exec"] >= result[100]["relative_exec"] - 0.02
+    # Every distance still improves on NP at this (unsaturated) latency.
+    assert all(result[d]["relative_exec"] < 1.0 for d in DISTANCES)

@@ -1,0 +1,56 @@
+"""Extension bench: the non-snooping prefetch buffer of section 3.1.
+
+"Prefetch buffers typically don't snoop on the bus; therefore, no
+shared data can be prefetched ... For this reason our prefetching
+algorithms are cache-based."  The PBUF strategy prefetches only
+non-shared data (what a non-snooping buffer may safely hold); this
+bench shows why the paper rejected the architecture: on these parallel
+workloads nearly all prefetchable misses are to shared data, so PBUF
+recovers almost nothing of what PREF gains.
+"""
+
+from repro.metrics.formatting import format_table
+from repro.prefetch.strategies import NP, PBUF, PREF
+from repro.workloads.registry import ALL_WORKLOAD_NAMES
+
+
+def test_extension_prefetch_buffer(benchmark, ablation_runner, save_result):
+    machine = ablation_runner.base_machine().with_transfer_cycles(4)
+
+    def sweep():
+        out = {}
+        for workload in ALL_WORKLOAD_NAMES:
+            base = ablation_runner.run(workload, NP, machine)
+            pref = ablation_runner.run(workload, PREF, machine)
+            pbuf = ablation_runner.run(workload, PBUF, machine)
+            out[workload] = {
+                "pref_speedup": base.exec_cycles / pref.exec_cycles,
+                "pbuf_speedup": base.exec_cycles / pbuf.exec_cycles,
+                "pref_count": pref.prefetches_issued,
+                "pbuf_count": pbuf.prefetches_issued,
+            }
+        return out
+
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [
+        [wl, round(r["pref_speedup"], 3), round(r["pbuf_speedup"], 3), r["pref_count"], r["pbuf_count"]]
+        for wl, r in result.items()
+    ]
+    save_result(
+        "extension_prefetch_buffer",
+        format_table(
+            ["Workload", "PREF speedup", "PBUF speedup", "PREF prefetches", "PBUF prefetches"],
+            rows,
+            title="Extension: non-snooping prefetch buffer (private data only, 4-cycle transfer)",
+        ),
+    )
+
+    for workload, r in result.items():
+        # The buffer may only prefetch a small subset of what the
+        # cache-based prefetcher covers...
+        assert r["pbuf_count"] <= 0.5 * max(1, r["pref_count"]), workload
+        # ... and never beats it.
+        assert r["pbuf_speedup"] <= r["pref_speedup"] + 0.02, workload
+    # On the all-shared workload the buffer is completely useless.
+    assert result["Mp3d"]["pbuf_count"] == 0
+    assert abs(result["Mp3d"]["pbuf_speedup"] - 1.0) < 0.02

@@ -1,0 +1,37 @@
+"""Bench E2: regenerate Figure 1 (total / CPU / adjusted miss rates).
+
+Acceptance shapes (paper section 4.2):
+
+* CPU miss rates fall significantly under every prefetching strategy
+  (paper: 37-71 % for PREF, 57-80 % for PWS; adjusted reductions are
+  larger still);
+* total miss rates never fall below NP's (prefetching adds traffic);
+* PWS reduces CPU misses at least as much as PREF on every workload.
+"""
+
+from repro.experiments import figure1
+from repro.workloads.registry import ALL_WORKLOAD_NAMES
+
+
+def test_figure1_miss_rates(benchmark, runner, save_result):
+    result = benchmark.pedantic(figure1.run, args=(runner,), rounds=1, iterations=1)
+    save_result("figure1_miss_rates", figure1.render(result))
+
+    for workload in ALL_WORKLOAD_NAMES:
+        np_rates = result.rates[workload]["NP"]
+        for strategy in ("PREF", "EXCL", "LPD", "PWS"):
+            rates = result.rates[workload][strategy]
+            # CPU misses fall...
+            assert rates["cpu"] < np_rates["cpu"], (workload, strategy)
+            # ... adjusted falls at least as much ...
+            assert rates["adjusted"] <= rates["cpu"] + 1e-9
+            # ... and total demand on the bus does not fall.
+            assert rates["total"] >= np_rates["total"] - 0.003, (workload, strategy)
+
+        # Substantial reductions, in the paper's ranges (we accept a
+        # wider band: the substrate is synthetic).
+        pref_red = result.reduction(workload, "PREF", "adjusted")
+        pws_red = result.reduction(workload, "PWS", "adjusted")
+        assert 0.15 <= pref_red <= 0.95, (workload, pref_red)
+        assert pws_red >= pref_red - 0.02, (workload, pws_red, pref_red)
+        assert pws_red >= 0.3, (workload, pws_red)

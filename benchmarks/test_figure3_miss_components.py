@@ -1,0 +1,58 @@
+"""Bench E5: regenerate Figure 3 (sources of CPU misses).
+
+Acceptance shapes (paper sections 4.3-4.4):
+
+* under NP, both non-sharing and invalidation components are present;
+* the oracle (PREF) nearly eliminates *unprefetched non-sharing*
+  misses; invalidation misses are untouched ("the limit to effective
+  prefetching ... is invalidation misses on shared data");
+* LPD eliminates most prefetch-in-progress misses but adds prefetched
+  non-sharing (conflict) misses relative to PREF;
+* only PWS substantially reduces the unprefetched-invalidation
+  component.
+"""
+
+from repro.experiments import figure3
+
+
+def test_figure3_miss_components(benchmark, runner, save_result):
+    result = benchmark.pedantic(figure3.run, args=(runner,), rounds=1, iterations=1)
+    save_result("figure3_miss_components", figure3.render(result))
+
+    for workload, by_strategy in result.components.items():
+        np_c = by_strategy["NP"]
+        pref = by_strategy["PREF"]
+        lpd = by_strategy["LPD"]
+        pws = by_strategy["PWS"]
+
+        # NP has no prefetch-related components.
+        assert np_c["prefetch_in_progress"] == 0
+        assert np_c["nonsharing_prefetched"] == 0
+        assert np_c["nonsharing_unprefetched"] > 0
+        assert np_c["invalidation_unprefetched"] > 0
+
+        # The oracle covers non-sharing misses almost completely...
+        assert pref["nonsharing_unprefetched"] < 0.1 * np_c["nonsharing_unprefetched"]
+        # ... and leaves invalidation misses essentially alone.
+        assert (
+            pref["invalidation_unprefetched"]
+            > 0.85 * np_c["invalidation_unprefetched"]
+        ), workload
+
+        # LPD kills prefetch-in-progress misses at the cost of more
+        # prefetched-then-lost conflict misses.
+        assert lpd["prefetch_in_progress"] < 0.5 * pref["prefetch_in_progress"]
+        assert lpd["nonsharing_prefetched"] >= pref["nonsharing_prefetched"]
+
+        # Only PWS attacks the invalidation component.
+        assert (
+            pws["invalidation_unprefetched"]
+            < 0.7 * pref["invalidation_unprefetched"]
+        ), workload
+
+        # Invalidation misses are the dominant CPU-miss component under
+        # the uniprocessor-oriented disciplines (the paper's key claim).
+        assert (
+            pref["invalidation_unprefetched"]
+            > pref["nonsharing_unprefetched"] + pref["nonsharing_prefetched"]
+        ), workload

@@ -1,0 +1,38 @@
+"""Bench E9: processor utilizations before prefetching (section 4.2).
+
+Acceptance shapes: Water sits far above the pack (paper 0.81-0.82) and
+gains the least; the memory-bound workloads have large theoretical
+headroom (paper: up to 4.5x for Mp3d) of which prefetching realises
+only a small part -- the paper's core argument that the bus, not the
+prediction, is the limit.
+"""
+
+from repro.experiments import utilization
+
+
+def test_processor_utilization(benchmark, runner, save_result):
+    result = benchmark.pedantic(utilization.run, args=(runner,), rounds=1, iterations=1)
+    save_result("processor_utilization", utilization.render(result))
+
+    rows = result.rows
+    # Water is the high-utilization outlier at both bus speeds.
+    for other in ("Topopt", "Mp3d", "LocusRoute", "Pverify"):
+        assert rows["Water"]["util_fast"] > 1.8 * rows[other]["util_fast"], other
+        assert rows["Water"]["util_slow"] > 1.8 * rows[other]["util_slow"], other
+
+    # Utilization falls as the bus slows (queueing lengthens misses).
+    for workload, row in rows.items():
+        assert row["util_slow"] <= row["util_fast"] + 0.02, workload
+
+    # Achieved speedups fall far short of the utilization bound for the
+    # memory-bound workloads (the paper: Mp3d "fell far short of the
+    # maximum potential speedup possible").
+    for workload in ("Mp3d", "Pverify"):
+        row = rows[workload]
+        assert row["achieved_fast"] < 0.55 * row["max_speedup_fast"], workload
+        assert row["achieved_slow"] < 0.35 * row["max_speedup_slow"], workload
+
+    # Water's small headroom is partially realised.
+    water = rows["Water"]
+    assert water["max_speedup_fast"] < 2.2
+    assert 1.0 <= water["achieved_fast"] <= water["max_speedup_fast"] + 0.05

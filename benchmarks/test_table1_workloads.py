@@ -1,0 +1,22 @@
+"""Bench E1: regenerate Table 1 (the workload inventory)."""
+
+from repro.experiments import table1
+
+
+def test_table1_workloads(benchmark, runner, save_result):
+    result = benchmark.pedantic(table1.run, args=(runner,), rounds=1, iterations=1)
+    text = table1.render(result)
+    save_result("table1_workloads", text)
+
+    names = [row["program"] for row in result.rows]
+    assert names == ["Topopt", "Mp3d", "LocusRoute", "Pverify", "Water"]
+    by_name = {row["program"]: row for row in result.rows}
+    # Paper shape: data sets are an order of magnitude down from real
+    # runs but keep the key size relations -- only Topopt's shared data
+    # fits the 32 KB cache comfortably; Mp3d's particle state dwarfs it.
+    assert by_name["Topopt"]["shared_kbytes"] < 32
+    assert by_name["Mp3d"]["shared_kbytes"] > 48
+    for row in result.rows:
+        assert row["processes"] == runner.num_cpus
+        assert row["refs_per_cpu"] > 5_000
+        assert 0 < row["write_fraction"] < 0.6

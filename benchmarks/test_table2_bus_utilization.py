@@ -1,0 +1,40 @@
+"""Bench E3: regenerate Table 2 (selected bus utilizations).
+
+Acceptance shapes: bus demand increases with prefetching for all
+applications at all contention levels; the high-miss workloads approach
+saturation at the 16/32-cycle transfers; Water stays far from it.
+"""
+
+from repro.experiments import table2
+from repro.workloads.registry import ALL_WORKLOAD_NAMES
+
+
+def test_table2_bus_utilization(benchmark, runner, save_result):
+    result = benchmark.pedantic(table2.run, args=(runner,), rounds=1, iterations=1)
+    save_result("table2_bus_utilization", table2.render(result))
+
+    for workload in ALL_WORKLOAD_NAMES:
+        by_strategy = result.utilization[workload]
+        for cycles in result.transfer_latencies:
+            # Prefetching never reduces bus demand.
+            for strategy in ("PREF", "EXCL", "LPD", "PWS"):
+                assert (
+                    by_strategy[strategy][cycles] >= by_strategy["NP"][cycles] - 0.03
+                ), (workload, strategy, cycles)
+            # PWS is the most traffic-hungry discipline.
+            assert by_strategy["PWS"][cycles] >= by_strategy["PREF"][cycles] - 0.02
+        # Utilization grows with transfer latency (per strategy).
+        for strategy, by_cycles in by_strategy.items():
+            values = [by_cycles[c] for c in result.transfer_latencies]
+            assert all(b >= a - 0.03 for a, b in zip(values, values[1:])), (
+                workload,
+                strategy,
+                values,
+            )
+
+    # Saturation at the slow end for the memory-bound workloads...
+    for workload in ("Mp3d", "Pverify", "Topopt", "LocusRoute"):
+        assert result.utilization[workload]["NP"][32] > 0.9, workload
+    # ... but never for Water (the paper's .38 at 32 cycles).
+    assert result.utilization["Water"]["NP"][32] < 0.8
+    assert result.utilization["Water"]["NP"][4] < 0.25

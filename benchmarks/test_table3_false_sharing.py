@@ -1,0 +1,31 @@
+"""Bench E6: regenerate Table 3 (invalidation and false-sharing rates).
+
+Acceptance shapes: sizeable false-sharing fractions for the
+write-sharing workloads (the paper: over half for most benchmarks),
+motivating the restructuring experiments; Water's invalidation rate is
+an order of magnitude below the heavy sharers.
+"""
+
+from repro.experiments import table3
+
+
+def test_table3_false_sharing(benchmark, runner, save_result):
+    result = benchmark.pedantic(table3.run, args=(runner,), rounds=1, iterations=1)
+    save_result("table3_false_sharing", table3.render(result))
+
+    rows = result.rows
+    # Every workload shows invalidation misses; false <= invalidation.
+    for workload, row in rows.items():
+        assert row["invalidation_mr"] > 0
+        assert 0 <= row["false_sharing_mr"] <= row["invalidation_mr"]
+
+    # The restructurable workloads (and LocusRoute) have false sharing
+    # around or above half of their invalidations.
+    for workload in ("Topopt", "LocusRoute"):
+        assert result.false_fraction(workload) >= 0.45, workload
+    assert result.false_fraction("Pverify") >= 0.25
+
+    # Water's sharing is almost entirely true (sequential position
+    # reads); its rates are tiny.
+    assert result.false_fraction("Water") <= 0.2
+    assert rows["Water"]["invalidation_mr"] < 0.35 * rows["Mp3d"]["invalidation_mr"]

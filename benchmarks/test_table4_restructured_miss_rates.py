@@ -1,0 +1,45 @@
+"""Bench E7: regenerate Table 4 (restructured-program miss rates).
+
+Acceptance shapes (paper section 4.4):
+
+* restructuring eliminates almost all false sharing in both programs;
+* invalidation miss rates drop by a large factor (paper: ~6x for
+  Topopt, ~4x for Pverify);
+* Topopt also improves its non-sharing behaviour (better locality);
+* Pverify's non-sharing misses are essentially unchanged.
+"""
+
+from repro.experiments import table4
+
+
+def test_table4_restructured_miss_rates(benchmark, runner, save_result):
+    result = benchmark.pedantic(table4.run, args=(runner,), rounds=1, iterations=1)
+    save_result("table4_restructured_miss_rates", table4.render(result))
+
+    rows = result.rows
+    for workload in ("Topopt", "Pverify"):
+        plain = rows[(workload, False, "NP")]
+        restr = rows[(workload, True, "NP")]
+        # False sharing all but disappears.
+        assert restr["false_sharing_mr"] < 0.15 * plain["false_sharing_mr"], workload
+        # Invalidation misses drop by a large factor.
+        assert restr["invalidation_mr"] < 0.65 * plain["invalidation_mr"], workload
+        # CPU miss rate improves overall.
+        assert restr["cpu_mr"] < plain["cpu_mr"], workload
+
+    # Topopt's locality improves too (non-sharing down)...
+    topopt_plain = rows[("Topopt", False, "NP")]
+    topopt_restr = rows[("Topopt", True, "NP")]
+    assert topopt_restr["nonsharing_mr"] <= topopt_plain["nonsharing_mr"] + 0.001
+
+    # ... while Pverify's non-sharing misses stay essentially unchanged
+    # ("virtually all of the improvement came from ... false sharing").
+    pv_plain = rows[("Pverify", False, "NP")]
+    pv_restr = rows[("Pverify", True, "NP")]
+    assert abs(pv_restr["nonsharing_mr"] - pv_plain["nonsharing_mr"]) < 0.4 * pv_plain["nonsharing_mr"]
+
+    # After restructuring, PREF approaches PWS (CPU miss rates).
+    for workload in ("Topopt", "Pverify"):
+        pref = rows[(workload, True, "PREF")]["cpu_mr"]
+        pws = rows[(workload, True, "PWS")]["cpu_mr"]
+        assert pref <= pws * 1.45, (workload, pref, pws)

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Building your own machine and workload with the library's substrate.
+
+The repro package is a general trace-driven snooping-bus simulator, not
+just a replay of the paper's five programs.  This example:
+
+1. defines a tiny custom parallel kernel (a producer/consumer ring over
+   a shared buffer) using the layout and trace-builder substrate;
+2. runs it across three machines -- the paper's machine, a 2-way
+   associative variant, and a machine with a 64-entry victim cache;
+3. applies the oracle prefetch pass and reports what prefetching does
+   on each machine.
+
+Run:
+    python examples/custom_machine_and_workload.py
+"""
+
+from dataclasses import replace
+
+from repro import CacheConfig, MachineConfig, PREF, insert_prefetches, simulate
+from repro.layout.memory import MemoryLayout
+from repro.layout.records import FieldSpec, RecordType
+from repro.metrics.formatting import format_table
+from repro.trace.stream import MultiTrace
+from repro.workloads.base import TraceBuilder
+from repro.common.rng import derive_rng
+
+NUM_CPUS = 8
+SLOTS_PER_CPU = 192
+ROUNDS = 40
+
+_SLOT = RecordType(
+    "slot", [FieldSpec("payload", 4, 4), FieldSpec("seq", 4)]
+)  # 20 bytes: slots straddle cache lines
+
+
+def build_ring_trace() -> MultiTrace:
+    """Each CPU produces into its slot range and consumes its left
+    neighbour's -- a ring of single-writer, single-reader queues.  The
+    misses are almost pure producer-consumer (true-sharing)
+    invalidations: the kind no prefetcher or cache organisation fixes."""
+    layout = MemoryLayout(NUM_CPUS, block_size=32)
+    ring = layout.shared_array("ring", _SLOT, SLOTS_PER_CPU * NUM_CPUS)
+    barriers = [layout.new_barrier() for _ in range(ROUNDS)]
+
+    builders = [
+        TraceBuilder(cpu, derive_rng("ring", cpu), mean_gap=2) for cpu in range(NUM_CPUS)
+    ]
+    for rnd, barrier in enumerate(barriers):
+        for cpu, builder in enumerate(builders):
+            base = cpu * SLOTS_PER_CPU
+            neighbour = ((cpu - 1) % NUM_CPUS) * SLOTS_PER_CPU
+            for k in range(0, SLOTS_PER_CPU, 4):  # a quarter of the ring per round
+                slot = base + (k + rnd) % SLOTS_PER_CPU
+                builder.write(ring, slot, "payload", 0)
+                builder.write(ring, slot, "seq", gap=3)
+                peek = neighbour + (k + rnd) % SLOTS_PER_CPU
+                builder.read(ring, peek, "seq")
+                builder.read(ring, peek, "payload", 0, gap=3)
+            builder.barrier(barrier)
+    return MultiTrace("ProducerRing", [b.finish() for b in builders])
+
+
+def main() -> None:
+    trace = build_ring_trace()
+    trace.validate()
+    print(
+        f"Custom workload: {trace.total_memrefs():,} references on "
+        f"{trace.num_cpus} CPUs"
+    )
+
+    machines = {
+        "paper default": MachineConfig(num_cpus=NUM_CPUS),
+        "2-way assoc": replace(
+            MachineConfig(num_cpus=NUM_CPUS), cache=CacheConfig(associativity=2)
+        ),
+        "victim-64": replace(
+            MachineConfig(num_cpus=NUM_CPUS), cache=CacheConfig(victim_cache_lines=64)
+        ),
+    }
+
+    rows = []
+    for label, machine in machines.items():
+        base = simulate(trace, machine, strategy_name="NP")
+        annotated, report = insert_prefetches(trace, PREF, machine.cache)
+        pref = simulate(annotated, machine, strategy_name="PREF")
+        rows.append(
+            [
+                label,
+                round(base.cpu_miss_rate, 4),
+                round(base.false_sharing_miss_rate, 4),
+                round(base.bus_utilization, 2),
+                report.inserted,
+                round(base.exec_cycles / pref.exec_cycles, 3),
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["Machine", "NP CPU MR", "NP FS MR", "NP bus util", "Prefetches", "PREF speedup"],
+            rows,
+            title="Producer/consumer ring across machines",
+        )
+    )
+    print(
+        "\nReading: the ring's misses are invalidations at the slot"
+        " seams, so the oracle prefetcher has little to predict -- and"
+        " associativity or a victim cache, which only fix conflicts,"
+        " barely move it either.  Sharing misses need layout or protocol"
+        " fixes, not smarter fetching."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Diagnosing and repairing false sharing (the paper's section 4.4).
+
+For each restructurable workload this example:
+
+1. measures the NP miss breakdown and shows how much of the
+   invalidation traffic is *false* sharing (Table 3's diagnosis);
+2. applies the Jeremiassen–Eggers-style restructuring (per-CPU grouping
+   and line padding of write-shared data) and shows the repaired
+   breakdown (Table 4);
+3. shows the downstream consequence for prefetching: once the false
+   sharing is gone, the plain oracle prefetcher (PREF) performs almost
+   as well as the write-shared-tailored one (PWS) -- the paper's
+   closing observation.
+
+Run:
+    python examples/false_sharing_repair.py
+"""
+
+from repro import NP, PREF, PWS
+from repro.experiments.runner import ExperimentRunner
+from repro.metrics.formatting import format_table
+from repro.workloads.registry import RESTRUCTURABLE_WORKLOAD_NAMES
+
+
+def main() -> None:
+    runner = ExperimentRunner()
+    machine = runner.base_machine()  # 8-cycle data transfer
+
+    rows = []
+    for workload in RESTRUCTURABLE_WORKLOAD_NAMES:
+        for restructured in (False, True):
+            run = runner.run(workload, NP, machine, restructured=restructured)
+            mc = run.miss_counts
+            label = f"{workload}{'/restructured' if restructured else ''}"
+            fs_share = mc.false_sharing / mc.invalidation if mc.invalidation else 0.0
+            rows.append(
+                [
+                    label,
+                    round(run.cpu_miss_rate, 4),
+                    round(run.invalidation_miss_rate, 4),
+                    round(run.false_sharing_miss_rate, 4),
+                    f"{fs_share:.0%}",
+                ]
+            )
+    print(
+        format_table(
+            ["Program", "CPU MR", "Invalidation MR", "False-sharing MR", "FS share of inval"],
+            rows,
+            title="Step 1+2: diagnose, then restructure (NP, 8-cycle transfer)",
+        )
+    )
+
+    print()
+    rows = []
+    for workload in RESTRUCTURABLE_WORKLOAD_NAMES:
+        for restructured in (False, True):
+            base = runner.run(workload, NP, machine, restructured=restructured)
+            pref = runner.run(workload, PREF, machine, restructured=restructured)
+            pws = runner.run(workload, PWS, machine, restructured=restructured)
+            label = f"{workload}{'/restructured' if restructured else ''}"
+            rows.append(
+                [
+                    label,
+                    round(base.exec_cycles / pref.exec_cycles, 3),
+                    round(base.exec_cycles / pws.exec_cycles, 3),
+                    round(pws.exec_cycles / pref.exec_cycles, 3),
+                ]
+            )
+    print(
+        format_table(
+            ["Program", "PREF speedup", "PWS speedup", "PWS/PREF exec ratio"],
+            rows,
+            title="Step 3: prefetching after the repair",
+        )
+    )
+    print(
+        "\nReading: restructuring wipes out the false-sharing column, and"
+        " the PWS/PREF gap collapses -- a uniprocessor-style prefetcher"
+        " is enough once the data layout stops manufacturing"
+        " invalidations."
+    )
+
+
+if __name__ == "__main__":
+    main()

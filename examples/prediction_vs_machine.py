@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Is the prefetcher the problem, or the machine?
+
+The paper's conclusion separates two limits on prefetching: prediction
+(the compiler cannot foresee invalidation misses) and the machine (a
+saturating bus punishes the extra traffic even when prediction is
+good).  This example decomposes a workload's NP stall time along both
+axes at once:
+
+=====================  =====================  ==========================
+                        shared bus             contention-free memory
+real prefetcher (PWS)   the paper's machine    ~ Mowry & Gupta's machine
+perfect prediction      prediction solved,     both solved: the
+(ORACLE)                machine unchanged      utilization bound
+=====================  =====================  ==========================
+
+If prediction were the bottleneck, the left column would improve a lot
+moving down; if the machine were, the top row would improve a lot
+moving right.  On a bus-based multiprocessor it's the machine.
+
+Run:
+    python examples/prediction_vs_machine.py [workload] [transfer_cycles]
+"""
+
+import sys
+from dataclasses import replace
+
+from repro import NP, PWS, BusConfig, MachineConfig, insert_perfect_prefetches, simulate
+from repro.experiments.runner import ExperimentRunner
+from repro.metrics.formatting import format_table
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "Mp3d"
+    transfer = int(sys.argv[2]) if len(sys.argv) > 2 else 16
+    runner = ExperimentRunner(scale=0.6)
+
+    rows = []
+    for contention_free in (False, True):
+        machine = replace(
+            runner.base_machine(),
+            bus=BusConfig(transfer_cycles=transfer, contention_free=contention_free),
+        )
+        trace = runner.clean_trace(workload)
+        base = runner.run(workload, NP, machine)
+        pws = runner.run(workload, PWS, machine)
+        oracle_trace, _ = insert_perfect_prefetches(trace, machine)
+        oracle = simulate(oracle_trace, machine, strategy_name="ORACLE")
+        label = "contention-free" if contention_free else "shared bus"
+        rows.append(
+            [
+                label,
+                round(base.processor_utilization, 2),
+                round(base.avg_miss_latency, 1),
+                round(base.exec_cycles / pws.exec_cycles, 2),
+                round(base.exec_cycles / oracle.exec_cycles, 2),
+                round(1.0 / base.processor_utilization, 2),
+            ]
+        )
+
+    print(
+        format_table(
+            [
+                "Memory system",
+                "NP util",
+                "NP miss latency",
+                "PWS speedup",
+                "ORACLE speedup",
+                "Utilization bound",
+            ],
+            rows,
+            title=f"{workload} at {transfer}-cycle data transfer",
+        )
+    )
+    print(
+        "\nReading: moving to perfect prediction (PWS -> ORACLE) changes"
+        " little; removing contention changes a lot.  The machine, not"
+        " the predictor, limits prefetching on a shared bus -- the"
+        " paper's conclusion, decomposed."
+    )
+
+
+if __name__ == "__main__":
+    main()

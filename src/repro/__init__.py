@@ -1,0 +1,106 @@
+"""repro: a reproduction of Tullsen & Eggers, "Limitations of Cache
+Prefetching on a Bus-Based Multiprocessor" (ISCA 1993).
+
+The package provides, end to end, the paper's experimental pipeline:
+
+1. :mod:`repro.workloads` -- executable kernels standing in for the
+   paper's five traced parallel programs;
+2. :mod:`repro.prefetch` -- the off-line oracle prefetch-insertion pass
+   and the five strategies (NP, PREF, EXCL, LPD, PWS);
+3. :mod:`repro.sim` -- the bus-based multiprocessor simulator (Illinois
+   coherence, lockup-free caches, split-transaction bus);
+4. :mod:`repro.metrics` / :mod:`repro.experiments` -- the paper's
+   metrics and one runner per table and figure.
+
+Quickstart::
+
+    from repro import MachineConfig, PREF, run_strategy
+
+    result = run_strategy("Water", PREF, MachineConfig())
+    print(result.run.cpu_miss_rate, result.comparison.speedup)
+"""
+
+from repro.common.config import (
+    BusConfig,
+    CacheConfig,
+    MachineConfig,
+    PrefetchConfig,
+    SimulationConfig,
+)
+from repro.common.errors import (
+    ConfigurationError,
+    ReproError,
+    SimulationError,
+    TraceError,
+)
+from repro.metrics.compare import RunComparison, compare_runs, speedup_table
+from repro.metrics.results import CpuMetrics, MissCounts, RunMetrics
+from repro.prefetch.strategies import (
+    ALL_STRATEGIES,
+    EXCL,
+    LPD,
+    NP,
+    PBUF,
+    PREF,
+    PREFETCH_STRATEGIES,
+    PWS,
+    PrefetchStrategy,
+    strategy_by_name,
+)
+from repro.prefetch.insertion import insert_prefetches
+from repro.prefetch.oracle import insert_perfect_prefetches
+from repro.analysis import advise, profile_sharing
+from repro.sim.engine import simulate
+from repro.trace.stream import CpuTrace, MultiTrace
+from repro.workloads.registry import (
+    ALL_WORKLOAD_NAMES,
+    RESTRUCTURABLE_WORKLOAD_NAMES,
+    generate_workload,
+    get_workload,
+)
+from repro.experiments.runner import ExperimentRunner, StrategyResult, run_strategy
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_STRATEGIES",
+    "ALL_WORKLOAD_NAMES",
+    "BusConfig",
+    "CacheConfig",
+    "ConfigurationError",
+    "CpuMetrics",
+    "CpuTrace",
+    "EXCL",
+    "ExperimentRunner",
+    "LPD",
+    "MachineConfig",
+    "MissCounts",
+    "MultiTrace",
+    "NP",
+    "PBUF",
+    "PREF",
+    "PREFETCH_STRATEGIES",
+    "PWS",
+    "PrefetchConfig",
+    "PrefetchStrategy",
+    "RESTRUCTURABLE_WORKLOAD_NAMES",
+    "ReproError",
+    "RunComparison",
+    "RunMetrics",
+    "SimulationConfig",
+    "SimulationError",
+    "StrategyResult",
+    "TraceError",
+    "advise",
+    "compare_runs",
+    "generate_workload",
+    "get_workload",
+    "insert_perfect_prefetches",
+    "insert_prefetches",
+    "profile_sharing",
+    "run_strategy",
+    "simulate",
+    "speedup_table",
+    "strategy_by_name",
+    "__version__",
+]

@@ -1,0 +1,40 @@
+"""Sharing analysis and restructuring advice.
+
+The paper's section 4.4 leans on two external capabilities: measuring
+*which* data is falsely shared (Eggers & Jeremiassen's profiling) and
+restructuring it (their compiler transformation).  This package
+implements working equivalents over our traces:
+
+* :mod:`repro.analysis.sharing` -- a word-granularity sharing profiler:
+  who reads/writes each cache line, which lines are write-shared, and
+  which exhibit *false-sharing potential* (multiple writers/readers
+  with disjoint word sets in one line);
+* :mod:`repro.analysis.attribution` -- attributes lines back to the
+  named program arrays recorded in the trace metadata;
+* :mod:`repro.analysis.advisor` -- turns the profile into concrete
+  layout recommendations (pad records to line size, group per-CPU data)
+  with estimated impact, i.e. a miniature Jeremiassen–Eggers advisor.
+
+Example::
+
+    from repro import generate_workload
+    from repro.analysis import advise, render_advice
+
+    trace = generate_workload("Pverify")
+    print(render_advice(advise(trace)))
+"""
+
+from repro.analysis.sharing import BlockSharing, SharingProfile, profile_sharing
+from repro.analysis.attribution import ArraySharingSummary, attribute_sharing
+from repro.analysis.advisor import Recommendation, advise, render_advice
+
+__all__ = [
+    "ArraySharingSummary",
+    "BlockSharing",
+    "Recommendation",
+    "SharingProfile",
+    "advise",
+    "attribute_sharing",
+    "profile_sharing",
+    "render_advice",
+]

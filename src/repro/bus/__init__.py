@@ -1,0 +1,13 @@
+"""The shared split-transaction bus: the machine's contended resource.
+
+Timing follows section 3.3 of the paper: of the 100-cycle unloaded miss
+latency, only the data-transfer slice (4-32 cycles) occupies the single
+contended resource; address transmission and the memory lookup proceed
+without inter-processor contention.  Arbitration is round-robin and, as
+in the paper, favours blocking (demand) operations over prefetches.
+"""
+
+from repro.bus.transaction import BusTransaction, TransactionKind
+from repro.bus.bus import Bus, BusStats
+
+__all__ = ["Bus", "BusStats", "BusTransaction", "TransactionKind"]

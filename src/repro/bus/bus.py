@@ -1,0 +1,193 @@
+"""Bus scheduling: queuing, arbitration, occupancy accounting.
+
+The bus serves one transaction at a time.  A transaction issued at time
+``t`` becomes *eligible* at ``t + uncontended_latency`` (the address/
+memory-lookup phase runs off the contended resource); from then on it
+competes in arbitration.  When the bus is free at time ``g`` it grants,
+among transactions with ``eligible_time <= g``:
+
+1. the lowest priority tier (demand > writeback > prefetch, when
+   ``demand_priority`` is set -- the paper's round-robin scheme "favors
+   blocking loads over prefetches");
+2. within a tier, round-robin over CPUs starting after the last granted
+   CPU;
+3. per CPU, FIFO by issue order.
+
+Grant decisions are made by the *engine* popping arbitration events in
+global time order, which guarantees every request issued before ``g`` is
+already queued -- see :mod:`repro.sim.engine`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bus.transaction import BusTransaction, TransactionKind
+from repro.common.config import BusConfig
+from repro.common.errors import SimulationError
+
+__all__ = ["Bus", "BusStats"]
+
+
+@dataclass
+class BusStats:
+    """Occupancy and operation counts for one simulation run.
+
+    Attributes:
+        busy_cycles: cycles the contended resource was occupied.
+        ops_by_kind: transaction counts per :class:`TransactionKind`.
+        demand_ops / prefetch_ops: counts by arbitration class.
+        total_wait_cycles: summed (grant - eligible) over transactions,
+            i.e. pure queuing delay caused by contention.
+    """
+
+    busy_cycles: int = 0
+    ops_by_kind: dict[TransactionKind, int] = field(
+        default_factory=lambda: {kind: 0 for kind in TransactionKind}
+    )
+    demand_ops: int = 0
+    prefetch_ops: int = 0
+    total_wait_cycles: int = 0
+
+    @property
+    def total_ops(self) -> int:
+        """All granted bus operations."""
+        return sum(self.ops_by_kind.values())
+
+    def utilization(self, total_cycles: int) -> float:
+        """Fraction of ``total_cycles`` the bus was busy."""
+        return self.busy_cycles / total_cycles if total_cycles else 0.0
+
+
+class Bus:
+    """The contended memory resource shared by all CPUs.
+
+    Args:
+        config: timing parameters.
+        num_cpus: processor count (round-robin modulus).
+    """
+
+    def __init__(self, config: BusConfig, num_cpus: int) -> None:
+        self.config = config
+        self.num_cpus = num_cpus
+        self.free_at = 0
+        self.stats = BusStats()
+        self._pending: list[BusTransaction] = []
+        self._last_granted_cpu = num_cpus - 1
+        self._seq = 0
+
+    # -------------------------------------------------------------- requests
+
+    def request(self, txn: BusTransaction) -> None:
+        """Queue a transaction (eligible_time must already be set)."""
+        txn.seq = self._seq
+        self._seq += 1
+        self._pending.append(txn)
+
+    def make_fill(
+        self, cpu: int, block: int, exclusive: bool, is_demand: bool, now: int, word_mask: int = 0
+    ) -> BusTransaction:
+        """Build (not queue) a fill transaction issued at ``now``."""
+        kind = TransactionKind.FILL_EX if exclusive else TransactionKind.FILL
+        return BusTransaction(
+            cpu=cpu,
+            block=block,
+            kind=kind,
+            is_demand=is_demand,
+            issue_time=now,
+            eligible_time=now + self.config.uncontended_cycles,
+            occupancy=self.config.transfer_cycles,
+            word_mask=word_mask,
+        )
+
+    def make_upgrade(self, cpu: int, block: int, now: int, word_mask: int) -> BusTransaction:
+        """Build an upgrade (invalidate-others) transaction."""
+        uncontended = max(0, self.config.upgrade_latency - self.config.upgrade_occupancy)
+        return BusTransaction(
+            cpu=cpu,
+            block=block,
+            kind=TransactionKind.UPGRADE,
+            is_demand=True,
+            issue_time=now,
+            eligible_time=now + uncontended,
+            occupancy=self.config.upgrade_occupancy,
+            word_mask=word_mask,
+        )
+
+    def make_writeback(self, cpu: int, block: int, now: int) -> BusTransaction:
+        """Build a copy-back transaction for a dirty victim."""
+        return BusTransaction(
+            cpu=cpu,
+            block=block,
+            kind=TransactionKind.WRITEBACK,
+            is_demand=False,
+            issue_time=now,
+            eligible_time=now + 1,
+            occupancy=self.config.effective_writeback_occupancy,
+        )
+
+    # ----------------------------------------------------------- arbitration
+
+    @property
+    def has_pending(self) -> bool:
+        """True when transactions are queued."""
+        return bool(self._pending)
+
+    def next_arbitration_time(self, now: int) -> int | None:
+        """Earliest time a grant decision could be made, or None if idle."""
+        if not self._pending:
+            return None
+        earliest_eligible = min(t.eligible_time for t in self._pending)
+        if self.config.contention_free:
+            return max(now, earliest_eligible)
+        return max(now, self.free_at, earliest_eligible)
+
+    def arbitrate(self, now: int) -> BusTransaction | None:
+        """Grant one transaction at time ``now`` if possible.
+
+        Returns the granted transaction with ``grant_time`` and
+        ``completion_time`` filled in, or ``None`` when the bus is busy
+        or nothing is eligible yet.
+        """
+        if not self._pending:
+            return None
+        if not self.config.contention_free and now < self.free_at:
+            return None
+        eligible = [t for t in self._pending if t.eligible_time <= now]
+        if not eligible:
+            return None
+        chosen = self._choose(eligible)
+        self._pending.remove(chosen)
+        chosen.grant_time = now
+        chosen.completion_time = now + chosen.occupancy
+        if self.config.contention_free:
+            # Unlimited bandwidth: transactions overlap freely; free_at
+            # only tracks the last completion for end-of-run accounting.
+            self.free_at = max(self.free_at, chosen.completion_time)
+        else:
+            self.free_at = chosen.completion_time
+        self._last_granted_cpu = chosen.cpu
+        self._account(chosen)
+        return chosen
+
+    def _choose(self, eligible: list[BusTransaction]) -> BusTransaction:
+        def rr_distance(cpu: int) -> int:
+            return (cpu - self._last_granted_cpu - 1) % self.num_cpus
+
+        if self.config.demand_priority:
+            key = lambda t: (t.tier, rr_distance(t.cpu), t.seq)
+        else:
+            key = lambda t: (rr_distance(t.cpu), t.seq)
+        return min(eligible, key=key)
+
+    def _account(self, txn: BusTransaction) -> None:
+        self.stats.busy_cycles += txn.occupancy
+        self.stats.ops_by_kind[txn.kind] += 1
+        if txn.is_demand:
+            self.stats.demand_ops += 1
+        else:
+            self.stats.prefetch_ops += 1
+        wait = txn.grant_time - txn.eligible_time
+        if wait < 0:
+            raise SimulationError("transaction granted before it was eligible")
+        self.stats.total_wait_cycles += wait

@@ -1,0 +1,93 @@
+"""Bus transaction records."""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+__all__ = ["BusTransaction", "TransactionKind"]
+
+
+class TransactionKind(IntEnum):
+    """Kinds of bus transactions, mapped to coherence ops by the engine."""
+
+    FILL = 0        # read fill (demand read miss or shared-mode prefetch)
+    FILL_EX = 1     # exclusive fill (demand write miss or exclusive prefetch)
+    UPGRADE = 2     # invalidate-others, no data transfer (write hit on SHARED)
+    WRITEBACK = 3   # copy-back of a dirty victim
+
+
+#: Arbitration tiers (lower is served first when demand priority is on):
+#: demand fills/upgrades, then writebacks, then prefetches.
+TIER_DEMAND = 0
+TIER_WRITEBACK = 1
+TIER_PREFETCH = 2
+
+
+class BusTransaction:
+    """One request queued at the bus.
+
+    Attributes:
+        cpu: requesting CPU (writebacks too).
+        block: block address (fills/writebacks) or the written block
+            (upgrades).
+        kind: transaction kind.
+        is_demand: True when a CPU is stalled waiting on this transaction.
+        issue_time: engine time the request was made.
+        eligible_time: earliest time the contended resource can serve it
+            (issue time plus the uncontended latency portion).
+        occupancy: contended-resource cycles consumed when granted.
+        word_mask: for invalidating operations, the word(s) being written
+            (false-sharing classification); 0 otherwise.
+        grant_time / completion_time: set by the bus at grant.
+        seq: FIFO tiebreaker within a priority class.
+    """
+
+    __slots__ = (
+        "cpu",
+        "block",
+        "kind",
+        "is_demand",
+        "issue_time",
+        "eligible_time",
+        "occupancy",
+        "word_mask",
+        "grant_time",
+        "completion_time",
+        "seq",
+    )
+
+    def __init__(
+        self,
+        cpu: int,
+        block: int,
+        kind: TransactionKind,
+        is_demand: bool,
+        issue_time: int,
+        eligible_time: int,
+        occupancy: int,
+        word_mask: int = 0,
+    ) -> None:
+        self.cpu = cpu
+        self.block = block
+        self.kind = kind
+        self.is_demand = is_demand
+        self.issue_time = issue_time
+        self.eligible_time = eligible_time
+        self.occupancy = occupancy
+        self.word_mask = word_mask
+        self.grant_time = -1
+        self.completion_time = -1
+        self.seq = -1
+
+    @property
+    def tier(self) -> int:
+        """Arbitration tier (lower first under demand priority)."""
+        if self.kind is TransactionKind.WRITEBACK:
+            return TIER_WRITEBACK
+        return TIER_DEMAND if self.is_demand else TIER_PREFETCH
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BusTransaction(cpu={self.cpu}, {self.kind.name}, block={self.block:#x}, "
+            f"demand={self.is_demand}, t={self.issue_time})"
+        )

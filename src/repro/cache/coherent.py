@@ -1,0 +1,273 @@
+"""The per-processor coherent data cache.
+
+Direct-mapped by default (the paper's configuration), optionally
+set-associative with LRU replacement, copy-back, with Illinois coherence
+state per line.  The cache is purely a state container: all *timing*
+(bus queuing, latencies) belongs to the engine, which also decides when
+fills complete and snoops are applied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.frame import CacheFrame
+from repro.cache.victim import VictimCache
+from repro.coherence.protocol import BusOp, IllinoisProtocol, LineState
+from repro.common.config import CacheConfig
+
+__all__ = ["CoherentCache", "EvictedLine", "LookupResult"]
+
+
+@dataclass(frozen=True)
+class LookupResult:
+    """Outcome of a demand lookup.
+
+    Attributes:
+        hit: the access can complete from the cache (valid matching tag,
+            possibly still needing an UPGRADE for a write to SHARED).
+        invalidation_miss: miss with a matching tag in INVALID state
+            (the paper's invalidation-miss definition) -- either in the
+            main array or parked invalidated in the victim cache.
+        false_sharing: for an invalidation miss, whether the causing
+            invalidation was false sharing.
+        victim_hit: the block was recovered from the victim cache
+            (counts as a hit; no bus operation).
+        writeback: a dirty line displaced off-chip by a victim-cache
+            swap, which the caller must write back.
+    """
+
+    hit: bool
+    invalidation_miss: bool = False
+    false_sharing: bool = False
+    victim_hit: bool = False
+    writeback: "EvictedLine | None" = None
+
+
+@dataclass(frozen=True)
+class EvictedLine:
+    """A line displaced by a fill that the engine may need to write back."""
+
+    block: int
+    dirty: bool
+
+
+class CoherentCache:
+    """One CPU's data cache.
+
+    Args:
+        config: geometry/policy.
+        protocol: coherence decision tables (shared across caches).
+        cpu: owning CPU id (diagnostics only).
+    """
+
+    def __init__(self, config: CacheConfig, protocol: IllinoisProtocol, cpu: int = 0) -> None:
+        self.config = config
+        self.protocol = protocol
+        self.cpu = cpu
+        self._block_size = config.block_size
+        self._assoc = config.associativity
+        self._num_sets = config.num_sets
+        self._set_mask = self._num_sets - 1
+        self._block_shift = config.block_size.bit_length() - 1
+        # frames[set][way]
+        self._frames: list[list[CacheFrame]] = [
+            [CacheFrame() for _ in range(self._assoc)] for _ in range(self._num_sets)
+        ]
+        # Fast tag -> frame map for snooping (avoids scanning sets).
+        self._by_block: dict[int, CacheFrame] = {}
+        self.victim = VictimCache(config.victim_cache_lines, protocol)
+
+    # ------------------------------------------------------------- addressing
+
+    def block_of(self, addr: int) -> int:
+        """Block (line) address containing ``addr``."""
+        return addr & ~(self._block_size - 1)
+
+    def _set_index(self, block: int) -> int:
+        return (block >> self._block_shift) & self._set_mask
+
+    # ---------------------------------------------------------------- lookup
+
+    def lookup_demand(self, block: int, word_mask: int, now: int) -> LookupResult:
+        """Classify a demand access to ``block`` (no state change on miss).
+
+        ``word_mask`` is the word(s) this access touches, used by the
+        false-sharing rule for invalidation misses.  On a hit the
+        frame's LRU stamp is refreshed but the word-access bitmap is
+        *not* updated here -- the engine calls :meth:`record_access`
+        once the access (including any upgrade) actually completes,
+        keeping classification and completion atomic.
+        """
+        frame = self._by_block.get(block)
+        if frame is not None:
+            if frame.valid:
+                frame.last_use = now
+                return LookupResult(hit=True)
+            return LookupResult(
+                hit=False,
+                invalidation_miss=True,
+                false_sharing=frame.miss_is_false_sharing(word_mask),
+            )
+        recovered = self.victim.extract(block)
+        if recovered is not None:
+            state, words, remote_written = recovered
+            # The swap stays on-chip (the displaced main-array line goes
+            # into the victim buffer), but a dirty line pushed out of the
+            # victim buffer by the swap must be written back.
+            evicted = self._install(block, state, by_prefetch=False, now=now)
+            frame = self._by_block[block]
+            frame.words_accessed = words
+            frame.remote_written = remote_written
+            return LookupResult(hit=True, victim_hit=True, writeback=evicted)
+        masks = self.victim.take_invalidated(block)
+        if masks is not None:
+            accessed, remote_written = masks
+            return LookupResult(
+                hit=False,
+                invalidation_miss=True,
+                false_sharing=(remote_written & (accessed | word_mask)) == 0,
+            )
+        return LookupResult(hit=False)
+
+    def lookup_prefetch(self, block: int) -> bool:
+        """True if a prefetch to ``block`` would hit (no bus op needed).
+
+        Prefetch hits never change state: per the paper's EXCL definition,
+        "if the prefetch hits in the cache, no bus operation is initiated,
+        even if the cache line is in the shared state."  Victim-cache
+        residency counts as a hit for prefetch purposes (the data is
+        on-chip and recoverable without the bus).
+        """
+        frame = self._by_block.get(block)
+        if frame is not None and frame.valid:
+            return True
+        return self.victim.has_valid_copy(block)
+
+    def state_of(self, block: int) -> LineState:
+        """Coherence state of ``block`` (INVALID when not present)."""
+        frame = self._by_block.get(block)
+        if frame is None:
+            return LineState.INVALID
+        return frame.state
+
+    def has_valid_copy(self, block: int) -> bool:
+        """True if this cache (or its victim buffer) holds a valid copy."""
+        frame = self._by_block.get(block)
+        if frame is not None and frame.valid:
+            return True
+        return self.victim.has_valid_copy(block)
+
+    # ----------------------------------------------------------------- fills
+
+    def fill(self, block: int, state: LineState, by_prefetch: bool, now: int) -> EvictedLine | None:
+        """Install ``block`` in ``state``; returns a line to write back.
+
+        The returned :class:`EvictedLine` is non-None only when a *dirty*
+        line was displaced all the way out of the cache (through the
+        victim buffer if one exists); the engine turns it into a
+        WRITEBACK bus operation.
+        """
+        return self._install(block, state, by_prefetch, now)
+
+    def _install(self, block: int, state: LineState, by_prefetch: bool, now: int) -> EvictedLine | None:
+        set_idx = self._set_index(block)
+        ways = self._frames[set_idx]
+        # Prefer an invalid frame; otherwise evict LRU.
+        target: CacheFrame | None = None
+        for frame in ways:
+            if not frame.valid:
+                target = frame
+                break
+        if target is None:
+            target = min(ways, key=lambda f: f.last_use)
+
+        writeback: EvictedLine | None = None
+        if target.block >= 0:
+            self._by_block.pop(target.block, None)
+            if target.valid:
+                displaced = self.victim.insert(
+                    target.block, target.state, target.words_accessed, target.remote_written
+                )
+                if self.victim.capacity == 0:
+                    if target.dirty:
+                        writeback = EvictedLine(target.block, dirty=True)
+                elif displaced is not None:
+                    writeback = EvictedLine(displaced[0], dirty=True)
+
+        target.fill(block, state, by_prefetch, now)
+        self._by_block[block] = target
+        return writeback
+
+    def record_access(self, block: int, word_mask: int, now: int) -> None:
+        """Mark a completed demand access to ``block``."""
+        frame = self._by_block.get(block)
+        if frame is not None:
+            frame.record_access(word_mask, now)
+
+    def set_state(self, block: int, state: LineState) -> None:
+        """Force the coherence state of a resident block (upgrades)."""
+        frame = self._by_block.get(block)
+        if frame is not None:
+            frame.state = state
+
+    def install_poisoned(self, block: int, remote_written: int, now: int) -> EvictedLine | None:
+        """Install a fill that was invalidated while in flight.
+
+        The block arrives already INVALID (tag present, state invalid),
+        so the next demand access classifies as an invalidation miss
+        against the accumulated ``remote_written`` mask -- "prefetched
+        data invalidated before use".  Returns a dirty victim to write
+        back, as :meth:`fill` does.
+        """
+        writeback = self._install(block, LineState.INVALID, by_prefetch=True, now=now)
+        frame = self._by_block.get(block)
+        if frame is not None:
+            frame.remote_written = remote_written
+        return writeback
+
+    def note_remote_write(self, block: int, writer_word_mask: int) -> None:
+        """Record a remote write for false-sharing classification.
+
+        The trace-driven engine reports *every* completed demand write
+        (including silent write hits on MODIFIED lines, which a real
+        snooper would not see); invalidated local copies accumulate the
+        written words until the eventual invalidation miss is classified.
+        """
+        frame = self._by_block.get(block)
+        if frame is not None and frame.state is LineState.INVALID:
+            frame.note_remote_write(writer_word_mask)
+        elif frame is None and self.victim.capacity:
+            self.victim.note_remote_write(block, writer_word_mask)
+
+    # ---------------------------------------------------------------- snooping
+
+    def snoop(self, block: int, op: BusOp, writer_word_mask: int) -> tuple[bool, bool]:
+        """Apply a remote bus operation.
+
+        Returns ``(had_valid_copy, supplied_data)``.  ``had_valid_copy``
+        feeds the requester's Illinois fill-state decision;
+        ``supplied_data`` reports a dirty cache-to-cache transfer (memory
+        is updated as part of the same transfer in Illinois, so no
+        writeback operation is generated).
+        """
+        frame = self._by_block.get(block)
+        had = False
+        supplied = False
+        if frame is not None and frame.valid:
+            had = True
+            action = self.protocol.snoop(frame.state, op)
+            supplied = action.supplies_data
+            if action.invalidated:
+                frame.invalidate(writer_word_mask)
+            else:
+                frame.state = action.new_state
+        if self.victim.snoop(block, op, writer_word_mask):
+            had = True
+        return had, supplied
+
+    # ---------------------------------------------------------------- queries
+
+    def resident_blocks(self) -> list[int]:
+        """Blocks with valid copies in the main array (tests/diagnostics)."""
+        return sorted(b for b, f in self._by_block.items() if f.valid)

@@ -1,0 +1,102 @@
+"""A single cache block frame."""
+
+from __future__ import annotations
+
+from repro.coherence.protocol import LineState
+
+__all__ = ["CacheFrame"]
+
+
+class CacheFrame:
+    """One block frame: tag, coherence state, and classification metadata.
+
+    Attributes:
+        block: block (line) byte address currently tagged, or -1 if the
+            frame has never been filled.
+        state: Illinois coherence state.
+        words_accessed: bitmask of 4-byte words the *local* CPU has
+            demand-accessed since the block was filled.  This is the
+            paper's false-sharing bookkeeping.
+        remote_written: bitmask of words written by other processors
+            since this copy was invalidated (the invalidating write plus
+            every subsequent remote write observed by the trace-driven
+            engine).  At the eventual invalidation *miss*, the miss is
+            *true* sharing iff the remote writes touched a word this CPU
+            accessed before losing the line (or the word it is accessing
+            now); otherwise it is false sharing -- the word-granularity
+            rule of section 4.4, applied with the full trace knowledge a
+            trace-driven simulator has.
+        filled_by_prefetch: the current contents arrived via a prefetch
+            and have not yet been demand-referenced (diagnostics).
+        last_use: engine timestamp of the most recent access (LRU within
+            a set for associative configurations).
+    """
+
+    __slots__ = (
+        "block",
+        "state",
+        "words_accessed",
+        "remote_written",
+        "filled_by_prefetch",
+        "last_use",
+    )
+
+    def __init__(self) -> None:
+        self.block = -1
+        self.state = LineState.INVALID
+        self.words_accessed = 0
+        self.remote_written = 0
+        self.filled_by_prefetch = False
+        self.last_use = 0
+
+    @property
+    def valid(self) -> bool:
+        """True when the frame holds a usable copy."""
+        return self.state is not LineState.INVALID
+
+    @property
+    def dirty(self) -> bool:
+        """True when eviction must write the block back."""
+        return self.state is LineState.MODIFIED
+
+    def fill(self, block: int, state: LineState, by_prefetch: bool, now: int) -> None:
+        """Load a new block into the frame."""
+        self.block = block
+        self.state = state
+        self.words_accessed = 0
+        self.remote_written = 0
+        self.filled_by_prefetch = by_prefetch
+        self.last_use = now
+
+    def record_access(self, word_mask: int, now: int) -> None:
+        """Note a local demand access touching ``word_mask`` words."""
+        self.words_accessed |= word_mask
+        self.filled_by_prefetch = False
+        self.last_use = now
+
+    def invalidate(self, writer_word_mask: int) -> None:
+        """Invalidate in response to a remote exclusive request.
+
+        ``writer_word_mask`` identifies the word(s) the remote CPU is
+        about to write (zero for an exclusive prefetch, whose write has
+        not happened yet); it seeds :attr:`remote_written`, which keeps
+        accumulating remote writes until this CPU misses on the line.
+        """
+        self.remote_written = writer_word_mask
+        self.state = LineState.INVALID
+
+    def note_remote_write(self, writer_word_mask: int) -> None:
+        """Accumulate a remote write observed while this copy is invalid."""
+        self.remote_written |= writer_word_mask
+
+    def miss_is_false_sharing(self, current_access_mask: int) -> bool:
+        """Classify the invalidation miss happening now on this frame.
+
+        True sharing iff any remote write since invalidation touched a
+        word this CPU had accessed or is accessing now.
+        """
+        relevant = self.words_accessed | current_access_mask
+        return (self.remote_written & relevant) == 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CacheFrame(block={self.block:#x}, state={self.state.name})"

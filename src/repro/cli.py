@@ -1,0 +1,282 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands:
+
+* ``simulate`` -- run one (workload, strategy, machine) configuration
+  and print the run summary (optionally against the NP baseline);
+* ``sweep`` -- Figure-2-style bus-latency sweep for one workload;
+* ``experiment`` -- regenerate a paper table or figure by name;
+* ``stats`` -- static trace statistics for a workload;
+* ``analyze`` -- sharing attribution and restructuring advice;
+* ``list`` -- available workloads, strategies and experiments.
+
+Examples::
+
+    python -m repro simulate --workload Mp3d --strategy PWS --transfer 4
+    python -m repro experiment figure2 --chart
+    python -m repro analyze --workload Pverify
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis import advise, attribute_sharing, profile_sharing, render_advice
+from repro.analysis.attribution import render_attribution
+from repro.common.config import MachineConfig
+from repro.common.errors import ReproError
+from repro.experiments import (
+    figure1,
+    figure2,
+    figure3,
+    headline,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    utilization,
+)
+from repro.experiments.runner import ExperimentRunner
+from repro.metrics.formatting import format_run_summary, format_table
+from repro.prefetch.strategies import ALL_STRATEGIES, PBUF, strategy_by_name
+from repro.trace.stats import compute_stats
+from repro.workloads.registry import ALL_WORKLOAD_NAMES
+
+__all__ = ["main"]
+
+_EXPERIMENTS = {
+    "table1": table1,
+    "table2": table2,
+    "table3": table3,
+    "table4": table4,
+    "table5": table5,
+    "figure1": figure1,
+    "figure2": figure2,
+    "figure3": figure3,
+    "headline": headline,
+    "utilization": utilization,
+}
+
+
+def _add_machine_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--cpus", type=int, default=12, help="processor count (default 12)")
+    parser.add_argument(
+        "--transfer", type=int, default=8, help="data-bus transfer cycles (default 8)"
+    )
+    parser.add_argument(
+        "--protocol", choices=("illinois", "msi"), default="illinois",
+        help="coherence protocol (default illinois)",
+    )
+    parser.add_argument("--scale", type=float, default=1.0, help="workload scale (default 1.0)")
+    parser.add_argument("--seed", type=int, default=42, help="workload seed (default 42)")
+
+
+def _runner(args: argparse.Namespace) -> ExperimentRunner:
+    return ExperimentRunner(num_cpus=args.cpus, seed=args.seed, scale=args.scale)
+
+
+def _machine(args: argparse.Namespace) -> MachineConfig:
+    machine = MachineConfig(num_cpus=args.cpus, protocol=args.protocol)
+    return machine.with_transfer_cycles(args.transfer)
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    runner = _runner(args)
+    strategy = strategy_by_name(args.strategy)
+    result = runner.compare(
+        args.workload, strategy, _machine(args), restructured=args.restructured
+    )
+    if strategy.enabled:
+        print(format_run_summary(result.baseline))
+        print()
+    print(format_run_summary(result.run))
+    if strategy.enabled:
+        cmp = result.comparison
+        print()
+        print(
+            f"{strategy.name} vs NP: speedup {cmp.speedup:.3f}x, "
+            f"CPU miss reduction {cmp.cpu_miss_reduction:.0%}, "
+            f"total miss increase {max(0.0, cmp.total_miss_increase):.0%}"
+        )
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    runner = _runner(args)
+    strategies = tuple(strategy_by_name(s) for s in args.strategies.split(","))
+    machine = MachineConfig(num_cpus=args.cpus, protocol=args.protocol)
+    latencies = tuple(int(c) for c in args.latencies.split(","))
+    results = runner.sweep(
+        args.workload, strategies, machine, transfer_latencies=latencies,
+        restructured=args.restructured,
+    )
+    headers = ["Discipline"] + [f"{c} cycles" for c in latencies]
+    baseline = {c: results[c].get("NP") for c in latencies}
+    rows = []
+    for strategy in strategies:
+        row: list[object] = [strategy.name]
+        for c in latencies:
+            run = results[c][strategy.name]
+            base = baseline[c]
+            if base is not None and strategy.name != "NP":
+                row.append(round(run.exec_cycles / base.exec_cycles, 3))
+            else:
+                row.append(run.exec_cycles)
+        rows.append(row)
+    title = f"{args.workload}: execution time (relative to NP where available)"
+    print(format_table(headers, rows, title=title))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    runner = _runner(args)
+    if args.name == "all":
+        from repro.experiments.report import run_all
+
+        print(run_all(runner, charts=args.chart).text)
+        return 0
+    module = _EXPERIMENTS[args.name]
+    result = module.run(runner)
+    if args.chart and hasattr(module, "render_chart"):
+        print(module.render_chart(result))
+    else:
+        print(module.render(result))
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    runner = _runner(args)
+    trace = runner.clean_trace(args.workload, restructured=args.restructured)
+    stats = compute_stats(trace)
+    rows = [
+        ["demand references", stats.total_refs],
+        ["writes", f"{stats.total_writes} ({stats.write_fraction:.0%})"],
+        ["shared references", f"{stats.shared_refs} ({stats.shared_fraction:.0%})"],
+        ["lock acquires", stats.lock_acquires],
+        ["barrier episodes", stats.barriers],
+        ["instruction cycles", stats.instruction_cycles],
+        ["footprint", f"{stats.footprint_blocks} lines ({stats.footprint_bytes // 1024} KB)"],
+        ["write-shared lines", stats.write_shared_blocks],
+    ]
+    print(format_table(["Metric", "Value"], rows, title=f"Trace statistics: {trace.name}"))
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    runner = _runner(args)
+    trace = runner.clean_trace(args.workload, restructured=args.restructured)
+    profile = profile_sharing(trace)
+    print(render_attribution(attribute_sharing(trace, profile)))
+    print()
+    print(render_advice(advise(trace)))
+    print()
+    print(
+        f"references through falsely-shared lines: "
+        f"{profile.false_sharing_ref_fraction:.1%} of {profile.total_refs:,}"
+    )
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.trace.io import load_multitrace, save_multitrace
+
+    if args.info:
+        trace = load_multitrace(args.info)
+        stats = compute_stats(trace)
+        print(
+            f"{trace.name}: {trace.num_cpus} CPUs, {stats.total_refs:,} demand refs, "
+            f"{trace.total_prefetches():,} prefetches, {stats.barriers} barriers, "
+            f"{stats.footprint_bytes // 1024} KB footprint"
+        )
+        return 0
+    if not (args.workload and args.out):
+        print("error: trace requires --info FILE, or --workload and --out", file=sys.stderr)
+        return 2
+    runner = _runner(args)
+    trace = runner.clean_trace(args.workload, restructured=args.restructured)
+    save_multitrace(trace, args.out)
+    print(f"wrote {args.out}: {trace.num_cpus} CPUs, {trace.total_memrefs():,} demand refs")
+    return 0
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("workloads  :", ", ".join(ALL_WORKLOAD_NAMES))
+    print(
+        "strategies :",
+        ", ".join(s.name for s in ALL_STRATEGIES) + f", {PBUF.name} (extension)",
+    )
+    print("experiments:", ", ".join(sorted(_EXPERIMENTS)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of Tullsen & Eggers, ISCA 1993.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("simulate", help="run one configuration")
+    p.add_argument("--workload", required=True, choices=ALL_WORKLOAD_NAMES)
+    p.add_argument("--strategy", default="PREF", help="NP/PREF/EXCL/LPD/PWS/PBUF")
+    p.add_argument("--restructured", action="store_true")
+    _add_machine_args(p)
+    p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser("sweep", help="bus-latency sweep for one workload")
+    p.add_argument("--workload", required=True, choices=ALL_WORKLOAD_NAMES)
+    p.add_argument("--strategies", default="NP,PREF,EXCL,LPD,PWS")
+    p.add_argument("--latencies", default="4,8,16,32")
+    p.add_argument("--restructured", action="store_true")
+    _add_machine_args(p)
+    p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    p.add_argument("name", choices=sorted(_EXPERIMENTS) + ["all"])
+    p.add_argument("--chart", action="store_true", help="render as a chart where supported")
+    _add_machine_args(p)
+    p.set_defaults(func=_cmd_experiment)
+
+    p = sub.add_parser("stats", help="static trace statistics")
+    p.add_argument("--workload", required=True, choices=ALL_WORKLOAD_NAMES)
+    p.add_argument("--restructured", action="store_true")
+    _add_machine_args(p)
+    p.set_defaults(func=_cmd_stats)
+
+    p = sub.add_parser("analyze", help="sharing attribution + restructuring advice")
+    p.add_argument("--workload", required=True, choices=ALL_WORKLOAD_NAMES)
+    p.add_argument("--restructured", action="store_true")
+    _add_machine_args(p)
+    p.set_defaults(func=_cmd_analyze)
+
+    p = sub.add_parser("trace", help="save or inspect a workload trace file")
+    p.add_argument("--workload", choices=ALL_WORKLOAD_NAMES)
+    p.add_argument("--out", help="write the generated trace to this .gz file")
+    p.add_argument("--info", help="print statistics of an existing trace file")
+    p.add_argument("--restructured", action="store_true")
+    _add_machine_args(p)
+    p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser("list", help="available workloads/strategies/experiments")
+    p.set_defaults(func=_cmd_list)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

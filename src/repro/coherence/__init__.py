@@ -1,0 +1,19 @@
+"""Illinois (MESI-style) write-invalidate cache-coherence protocol.
+
+The protocol is expressed as a pure decision table
+(:class:`~repro.coherence.protocol.IllinoisProtocol`) consumed by the
+cache model and the simulation engine.  Its distinguishing feature, which
+the paper leans on for exclusive prefetching, is the *private-clean*
+state: a read fill that no other cache holds enters PRIVATE immediately,
+so a later write needs no bus operation.
+"""
+
+from repro.coherence.protocol import (
+    BusOp,
+    IllinoisProtocol,
+    LineState,
+    MSIProtocol,
+    SnoopAction,
+)
+
+__all__ = ["BusOp", "IllinoisProtocol", "LineState", "MSIProtocol", "SnoopAction"]

@@ -1,0 +1,43 @@
+"""Shared low-level utilities: addressing, configuration, errors, RNG.
+
+Everything in this package is dependency-free (standard library + dataclasses
+only) so that every other subpackage can import it without cycles.
+"""
+
+from repro.common.addressing import (
+    AddressSpace,
+    block_address,
+    block_offset_bits,
+    word_index,
+    word_mask_for,
+)
+from repro.common.config import (
+    BusConfig,
+    CacheConfig,
+    MachineConfig,
+    PrefetchConfig,
+    SimulationConfig,
+)
+from repro.common.errors import (
+    ConfigurationError,
+    ReproError,
+    SimulationError,
+    TraceError,
+)
+
+__all__ = [
+    "AddressSpace",
+    "BusConfig",
+    "CacheConfig",
+    "ConfigurationError",
+    "MachineConfig",
+    "PrefetchConfig",
+    "ReproError",
+    "SimulationConfig",
+    "SimulationError",
+    "TraceError",
+    "block_address",
+    "block_offset_bits",
+    "word_index",
+    "word_mask_for",
+]

@@ -1,0 +1,35 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch one base class.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid or inconsistent configuration value was supplied.
+
+    Raised eagerly at construction time (e.g. a cache size that is not a
+    power-of-two multiple of the block size) so that misconfiguration is
+    caught before a long simulation starts.
+    """
+
+
+class TraceError(ReproError):
+    """A trace stream is malformed or violates an invariant.
+
+    Examples: a barrier event whose participant count does not match the
+    machine, a lock release without a matching acquire, or a negative
+    instruction gap.
+    """
+
+
+class SimulationError(ReproError):
+    """The simulation engine reached an inconsistent internal state.
+
+    This always indicates a bug in the simulator (or a trace that passed
+    validation but is semantically impossible), never a user error.
+    """

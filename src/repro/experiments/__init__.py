@@ -1,0 +1,36 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Every experiment module exposes a ``run(runner) -> <Result>`` function
+and a ``render(result) -> str`` that prints the same rows/series the
+paper reports.  :class:`~repro.experiments.runner.ExperimentRunner`
+caches traces and simulation results, so experiments that share
+configurations (e.g. Figure 1 and Figure 3 both use the 8-cycle
+machine) do not re-simulate.
+
+Experiment index (see DESIGN.md for the full mapping):
+
+* :mod:`repro.experiments.table1` -- workload inventory
+* :mod:`repro.experiments.figure1` -- miss rates per strategy
+* :mod:`repro.experiments.table2` -- bus utilizations
+* :mod:`repro.experiments.figure2` -- relative execution times
+* :mod:`repro.experiments.figure3` -- CPU-miss components
+* :mod:`repro.experiments.table3` -- invalidation & false-sharing rates
+* :mod:`repro.experiments.table4` -- restructured miss rates
+* :mod:`repro.experiments.table5` -- restructured execution times
+* :mod:`repro.experiments.utilization` -- processor utilizations (4.2)
+* :mod:`repro.experiments.headline` -- headline speedup extremes
+"""
+
+from repro.experiments.runner import (
+    DEFAULT_TRANSFER_LATENCIES,
+    ExperimentRunner,
+    StrategyResult,
+    run_strategy,
+)
+
+__all__ = [
+    "DEFAULT_TRANSFER_LATENCIES",
+    "ExperimentRunner",
+    "StrategyResult",
+    "run_strategy",
+]

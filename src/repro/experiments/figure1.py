@@ -1,0 +1,104 @@
+"""Figure 1: total and CPU miss rates for the five workloads.
+
+The paper's Figure 1 shows, for each workload under each prefetching
+discipline (NP, PREF, EXCL, LPD, PWS) at the 8-cycle data-transfer
+latency, three bars: the total miss rate, the CPU miss rate, and the
+adjusted CPU miss rate (CPU misses excluding accesses that found their
+prefetch still in progress).
+
+Headline shapes to reproduce (section 4.2):
+
+* CPU miss rates fall substantially under every strategy (paper:
+  37-71 % for PREF, 57-80 % for PWS);
+* total miss rates *increase* under every strategy;
+* the prefetch-in-progress component (CPU minus adjusted) grows as the
+  bus slows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.config import MachineConfig
+from repro.experiments.runner import DEFAULT_FIGURE_LATENCY, ExperimentRunner
+from repro.metrics.formatting import format_table
+from repro.prefetch.strategies import ALL_STRATEGIES
+from repro.workloads.registry import ALL_WORKLOAD_NAMES
+
+__all__ = ["Figure1Result", "render", "render_chart", "run"]
+
+
+@dataclass
+class Figure1Result:
+    """``rates[workload][strategy]`` = dict of the three miss rates."""
+
+    transfer_cycles: int
+    rates: dict[str, dict[str, dict[str, float]]]
+
+    def reduction(self, workload: str, strategy: str, metric: str = "cpu") -> float:
+        """Fractional reduction of a miss rate vs. NP (positive = fell)."""
+        base = self.rates[workload]["NP"][metric]
+        now = self.rates[workload][strategy][metric]
+        return (base - now) / base if base else 0.0
+
+
+def run(
+    runner: ExperimentRunner | None = None,
+    transfer_cycles: int = DEFAULT_FIGURE_LATENCY,
+) -> Figure1Result:
+    """Simulate all workloads under all five strategies at one latency."""
+    runner = runner or ExperimentRunner()
+    machine = runner.base_machine().with_transfer_cycles(transfer_cycles)
+    rates: dict[str, dict[str, dict[str, float]]] = {}
+    for workload in ALL_WORKLOAD_NAMES:
+        rates[workload] = {}
+        for strategy in ALL_STRATEGIES:
+            result = runner.run(workload, strategy, machine)
+            rates[workload][strategy.name] = {
+                "total": result.total_miss_rate,
+                "cpu": result.cpu_miss_rate,
+                "adjusted": result.adjusted_cpu_miss_rate,
+            }
+    return Figure1Result(transfer_cycles=transfer_cycles, rates=rates)
+
+
+def render(result: Figure1Result) -> str:
+    """Text rendering of the Figure 1 bar groups."""
+    rows = []
+    for workload, by_strategy in result.rates.items():
+        for strategy, r in by_strategy.items():
+            rows.append(
+                [workload, strategy, r["total"], r["cpu"], r["adjusted"]]
+            )
+    return format_table(
+        ["Workload", "Discipline", "Total MR", "CPU MR", "Adjusted CPU MR"],
+        rows,
+        title=(
+            "Figure 1: Total and CPU miss rates "
+            f"({result.transfer_cycles}-cycle data transfer)"
+        ),
+    )
+
+
+def render_chart(result: Figure1Result) -> str:
+    """Bar-chart rendering in the shape of the paper's Figure 1."""
+    from repro.metrics.charts import bar_chart
+
+    sections = []
+    peak = max(
+        rates["total"]
+        for by_strategy in result.rates.values()
+        for rates in by_strategy.values()
+    )
+    for workload, by_strategy in result.rates.items():
+        bars = {}
+        for strategy, rates in by_strategy.items():
+            bars[f"{strategy} total"] = rates["total"]
+            bars[f"{strategy} cpu"] = rates["cpu"]
+            bars[f"{strategy} adj"] = rates["adjusted"]
+        sections.append(bar_chart(bars, title=f"-- {workload} --", max_value=peak))
+    header = (
+        "Figure 1: Total and CPU miss rates "
+        f"({result.transfer_cycles}-cycle data transfer)"
+    )
+    return header + "\n" + "\n\n".join(sections)

@@ -1,0 +1,127 @@
+"""Figure 2: execution times relative to NP vs. data-bus latency.
+
+The paper's Figure 2 plots, per workload, the execution time of each
+prefetching discipline relative to no prefetching, as a function of the
+data-transfer latency (4 to 32 cycles).  Shapes to reproduce
+(section 4.2):
+
+* prefetching improves execution time on the fast buses and degrades it
+  once the bus saturates;
+* the high-miss-rate workloads show both the largest improvements (fast
+  bus) and the degradations (slow bus);
+* PWS is the best (or tied) discipline where prefetching is viable;
+* LPD does not beat PREF despite eliminating prefetch-in-progress
+  misses;
+* the largest observed gain is a few tens of percent and the largest
+  degradation a few percent (paper: +39 % best, -7 % worst).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.config import MachineConfig
+from repro.experiments.runner import DEFAULT_TRANSFER_LATENCIES, ExperimentRunner
+from repro.metrics.formatting import format_table
+from repro.prefetch.strategies import ALL_STRATEGIES, PREFETCH_STRATEGIES
+from repro.workloads.registry import ALL_WORKLOAD_NAMES
+
+__all__ = ["Figure2Result", "render", "render_chart", "run"]
+
+
+@dataclass
+class Figure2Result:
+    """``relative[workload][strategy][transfer_cycles]`` -> exec/NP-exec."""
+
+    transfer_latencies: tuple[int, ...]
+    relative: dict[str, dict[str, dict[int, float]]]
+
+    def best_speedup(self) -> tuple[str, str, int, float]:
+        """(workload, strategy, latency, speedup) of the best case."""
+        best = ("", "", 0, 1.0)
+        for wl, by_s in self.relative.items():
+            for s, by_c in by_s.items():
+                for c, rel in by_c.items():
+                    speedup = 1.0 / rel
+                    if speedup > best[3]:
+                        best = (wl, s, c, speedup)
+        return best
+
+    def worst_slowdown(self) -> tuple[str, str, int, float]:
+        """(workload, strategy, latency, speedup<1) of the worst case."""
+        worst = ("", "", 0, 10.0)
+        for wl, by_s in self.relative.items():
+            for s, by_c in by_s.items():
+                for c, rel in by_c.items():
+                    speedup = 1.0 / rel
+                    if speedup < worst[3]:
+                        worst = (wl, s, c, speedup)
+        return worst
+
+
+def run(
+    runner: ExperimentRunner | None = None,
+    transfer_latencies: tuple[int, ...] = DEFAULT_TRANSFER_LATENCIES,
+) -> Figure2Result:
+    """Sweep all workloads and strategies over the bus latencies."""
+    runner = runner or ExperimentRunner()
+    relative: dict[str, dict[str, dict[int, float]]] = {}
+    for workload in ALL_WORKLOAD_NAMES:
+        relative[workload] = {s.name: {} for s in PREFETCH_STRATEGIES}
+        for cycles in transfer_latencies:
+            machine = runner.base_machine().with_transfer_cycles(cycles)
+            baseline = runner.run(workload, ALL_STRATEGIES[0], machine)  # NP
+            for strategy in PREFETCH_STRATEGIES:
+                result = runner.run(workload, strategy, machine)
+                relative[workload][strategy.name][cycles] = (
+                    result.exec_cycles / baseline.exec_cycles
+                )
+    return Figure2Result(transfer_latencies=transfer_latencies, relative=relative)
+
+
+def render(result: Figure2Result) -> str:
+    """Text rendering of the Figure 2 series."""
+    headers = ["Workload", "Discipline"] + [
+        f"{c} cycles" for c in result.transfer_latencies
+    ]
+    rows = []
+    for workload, by_strategy in result.relative.items():
+        for strategy, by_cycles in by_strategy.items():
+            rows.append(
+                [workload, strategy]
+                + [round(by_cycles[c], 3) for c in result.transfer_latencies]
+            )
+    best = result.best_speedup()
+    worst = result.worst_slowdown()
+    table = format_table(
+        headers,
+        rows,
+        title="Figure 2: Execution times relative to no prefetching",
+    )
+    return (
+        f"{table}\n"
+        f"best speedup : {best[3]:.3f}x ({best[0]}/{best[1]} at {best[2]}-cycle transfer)\n"
+        f"worst case   : {worst[3]:.3f}x ({worst[0]}/{worst[1]} at {worst[2]}-cycle transfer)"
+    )
+
+
+def render_chart(result: Figure2Result) -> str:
+    """Line-plot rendering in the shape of the paper's Figure 2 panels."""
+    from repro.metrics.charts import line_chart
+
+    panels = []
+    for workload, by_strategy in result.relative.items():
+        series = {
+            strategy: [(float(c), rel) for c, rel in sorted(by_cycles.items())]
+            for strategy, by_cycles in by_strategy.items()
+        }
+        panels.append(
+            line_chart(
+                series,
+                title=f"-- {workload}: exec time relative to NP vs data-bus latency --",
+                y_min=min(0.55, min(r for s_ in series.values() for _, r in s_)),
+                y_max=1.05,
+                height=12,
+            )
+        )
+    return "\n\n".join(panels)

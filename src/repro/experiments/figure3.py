@@ -1,0 +1,142 @@
+"""Figure 3: sources of CPU misses in Topopt, Pverify and Mp3d.
+
+The paper's Figure 3 decomposes the CPU misses of three workloads (at
+the 8-cycle data-transfer latency) into five stacked components:
+
+* non-sharing, not prefetched
+* invalidation, not prefetched
+* non-sharing, prefetched (the prefetched data was lost to conflicts)
+* invalidation, prefetched (the prefetched data was invalidated)
+* prefetch in progress
+
+Shapes to reproduce (sections 4.3-4.4):
+
+* invalidation misses are the largest CPU-miss component under the
+  uniprocessor-oriented strategies and are almost entirely
+  *not prefetched* (the oracle cannot predict them); only PWS attacks
+  them;
+* LPD eliminates most prefetch-in-progress misses but pays with more
+  conflict (non-sharing) misses;
+* Topopt keeps a significant non-sharing residue (prefetch-introduced
+  conflicts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.config import MachineConfig
+from repro.experiments.runner import DEFAULT_FIGURE_LATENCY, ExperimentRunner
+from repro.metrics.formatting import format_table
+from repro.prefetch.strategies import ALL_STRATEGIES
+from repro.metrics.results import MissCounts
+
+__all__ = ["FIGURE3_WORKLOADS", "Figure3Result", "render", "render_chart", "run"]
+
+#: The workloads shown in the paper's Figure 3 panels (a), (b), (c).
+FIGURE3_WORKLOADS: tuple[str, ...] = ("Topopt", "Pverify", "Mp3d")
+
+
+@dataclass
+class Figure3Result:
+    """``components[workload][strategy]`` -> per-1000-references rates."""
+
+    transfer_cycles: int
+    components: dict[str, dict[str, dict[str, float]]]
+
+
+def _component_rates(mc: MissCounts, refs: int) -> dict[str, float]:
+    per = 1000.0 / refs if refs else 0.0
+    return {
+        "nonsharing_unprefetched": mc.nonsharing_unprefetched * per,
+        "invalidation_unprefetched": (
+            mc.inval_true_unprefetched + mc.inval_false_unprefetched
+        )
+        * per,
+        "nonsharing_prefetched": mc.nonsharing_prefetched * per,
+        "invalidation_prefetched": (mc.inval_true_prefetched + mc.inval_false_prefetched)
+        * per,
+        "prefetch_in_progress": mc.prefetch_in_progress * per,
+    }
+
+
+def run(
+    runner: ExperimentRunner | None = None,
+    transfer_cycles: int = DEFAULT_FIGURE_LATENCY,
+    workloads: tuple[str, ...] = FIGURE3_WORKLOADS,
+) -> Figure3Result:
+    """Collect the five miss components per strategy and workload."""
+    runner = runner or ExperimentRunner()
+    machine = runner.base_machine().with_transfer_cycles(transfer_cycles)
+    components: dict[str, dict[str, dict[str, float]]] = {}
+    for workload in workloads:
+        components[workload] = {}
+        for strategy in ALL_STRATEGIES:
+            result = runner.run(workload, strategy, machine)
+            components[workload][strategy.name] = _component_rates(
+                result.miss_counts, result.demand_refs
+            )
+    return Figure3Result(transfer_cycles=transfer_cycles, components=components)
+
+
+def render(result: Figure3Result) -> str:
+    """Text rendering of the stacked components (per 1000 references)."""
+    headers = [
+        "Workload",
+        "Discipline",
+        "ns/unpref",
+        "inv/unpref",
+        "ns/pref'd",
+        "inv/pref'd",
+        "pf-in-prog",
+        "total",
+    ]
+    rows = []
+    for workload, by_strategy in result.components.items():
+        for strategy, comp in by_strategy.items():
+            total = sum(comp.values())
+            rows.append(
+                [
+                    workload,
+                    strategy,
+                    round(comp["nonsharing_unprefetched"], 2),
+                    round(comp["invalidation_unprefetched"], 2),
+                    round(comp["nonsharing_prefetched"], 2),
+                    round(comp["invalidation_prefetched"], 2),
+                    round(comp["prefetch_in_progress"], 2),
+                    round(total, 2),
+                ]
+            )
+    return format_table(
+        headers,
+        rows,
+        title=(
+            "Figure 3: Sources of CPU misses, per 1000 demand references "
+            f"({result.transfer_cycles}-cycle data transfer)"
+        ),
+    )
+
+
+def render_chart(result: Figure3Result) -> str:
+    """Stacked-bar rendering in the shape of the paper's Figure 3."""
+    from repro.metrics.charts import stacked_bar_chart
+
+    panels = []
+    for workload, by_strategy in result.components.items():
+        data = {
+            strategy: {
+                "ns/unpref": comps["nonsharing_unprefetched"],
+                "inv/unpref": comps["invalidation_unprefetched"],
+                "ns/pref": comps["nonsharing_prefetched"],
+                "inv/pref": comps["invalidation_prefetched"],
+                "in-prog": comps["prefetch_in_progress"],
+            }
+            for strategy, comps in by_strategy.items()
+        }
+        panels.append(
+            stacked_bar_chart(
+                data,
+                title=f"-- {workload}: CPU misses per 1000 refs --",
+            )
+        )
+    return "\n\n".join(panels)

@@ -1,0 +1,98 @@
+"""Headline results: the abstract's speedup extremes.
+
+The paper's abstract and section 4.2 summarise the whole evaluation in
+a few numbers:
+
+* without sharing-aware prefetching (PREF/EXCL/LPD), maximum speedups
+  ranged from 1.28 (fastest bus) down to 1.04 (slowest), with a worst
+  case of 0.94 (a 7 % degradation at bus saturation -- 0.93x);
+* PWS raised the maximum to 1.39 with a minimum of 0.95;
+* overall: "speedups no greater than 39 %, degradations as high as 7 %".
+
+This experiment computes the same extremes over the full sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.config import MachineConfig
+from repro.experiments.runner import DEFAULT_TRANSFER_LATENCIES, ExperimentRunner
+from repro.prefetch.strategies import EXCL, LPD, NP, PREF, PWS
+from repro.workloads.registry import ALL_WORKLOAD_NAMES
+
+__all__ = ["HeadlineResult", "render", "run"]
+
+_UNIPROCESSOR_STRATEGIES = (PREF, EXCL, LPD)
+
+
+@dataclass
+class HeadlineResult:
+    """The abstract's summary statistics, as measured here.
+
+    ``*_by_latency`` map transfer cycles to the max speedup observed at
+    that latency across workloads (the paper's "1.28 to 1.04 depending
+    on the memory architecture").
+    """
+
+    uniprocessor_max_by_latency: dict[int, float]
+    uniprocessor_min: float
+    pws_max: float
+    pws_min: float
+    details: dict[str, object]
+
+
+def run(
+    runner: ExperimentRunner | None = None,
+    transfer_latencies: tuple[int, ...] = DEFAULT_TRANSFER_LATENCIES,
+) -> HeadlineResult:
+    """Compute speedup extremes across the full sweep."""
+    runner = runner or ExperimentRunner()
+    uni_max: dict[int, float] = {}
+    uni_min = float("inf")
+    pws_max = 0.0
+    pws_min = float("inf")
+    uni_argmax: dict[int, str] = {}
+    pws_arg = ""
+    for cycles in transfer_latencies:
+        machine = runner.base_machine().with_transfer_cycles(cycles)
+        uni_max[cycles] = 0.0
+        for workload in ALL_WORKLOAD_NAMES:
+            base = runner.run(workload, NP, machine)
+            for strategy in _UNIPROCESSOR_STRATEGIES:
+                speedup = base.exec_cycles / runner.run(workload, strategy, machine).exec_cycles
+                if speedup > uni_max[cycles]:
+                    uni_max[cycles] = speedup
+                    uni_argmax[cycles] = f"{workload}/{strategy.name}"
+                uni_min = min(uni_min, speedup)
+            pws_speedup = base.exec_cycles / runner.run(workload, PWS, machine).exec_cycles
+            if pws_speedup > pws_max:
+                pws_max = pws_speedup
+                pws_arg = f"{workload}@{cycles}c"
+            pws_min = min(pws_min, pws_speedup)
+    return HeadlineResult(
+        uniprocessor_max_by_latency=uni_max,
+        uniprocessor_min=uni_min,
+        pws_max=pws_max,
+        pws_min=pws_min,
+        details={"uniprocessor_argmax": uni_argmax, "pws_argmax": pws_arg},
+    )
+
+
+def render(result: HeadlineResult) -> str:
+    """Text rendering of the headline comparison."""
+    lines = [
+        "Headline speedup extremes (paper values in parentheses):",
+        "  uniprocessor-oriented strategies (PREF/EXCL/LPD):",
+    ]
+    paper_max = {4: 1.28, 32: 1.04}
+    for cycles, value in result.uniprocessor_max_by_latency.items():
+        ref = f" (paper {paper_max[cycles]})" if cycles in paper_max else ""
+        arg = result.details["uniprocessor_argmax"].get(cycles, "")
+        lines.append(f"    max @{cycles}-cycle transfer: {value:.2f}x{ref}  [{arg}]")
+    lines.append(f"    min anywhere: {result.uniprocessor_min:.2f}x (paper 0.94)")
+    lines.append(
+        f"  PWS: max {result.pws_max:.2f}x (paper 1.39, at {result.details['pws_argmax']}), "
+        f"min {result.pws_min:.2f}x (paper 0.95)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,69 @@
+"""One-shot full reproduction report.
+
+``run_all`` drives every experiment module off one shared runner (so
+common simulations are shared) and stitches the rendered tables into a
+single report, in the paper's presentation order.  The CLI exposes it
+as ``python -m repro experiment all``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments import (
+    figure1,
+    figure2,
+    figure3,
+    headline,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    utilization,
+)
+from repro.experiments.runner import ExperimentRunner
+
+__all__ = ["FullReport", "run_all"]
+
+#: (title, module) in the paper's presentation order.
+_SECTIONS = (
+    ("Table 1 — workloads", table1),
+    ("Figure 1 — miss rates", figure1),
+    ("Table 2 — bus utilizations", table2),
+    ("Figure 2 — execution times", figure2),
+    ("Figure 3 — CPU-miss components", figure3),
+    ("Table 3 — invalidation & false sharing", table3),
+    ("Table 4 — restructured miss rates", table4),
+    ("Table 5 — restructured execution times", table5),
+    ("Section 4.2 — processor utilizations", utilization),
+    ("Headline — speedup extremes", headline),
+)
+
+
+@dataclass
+class FullReport:
+    """Every experiment's result plus the stitched text rendering."""
+
+    results: dict[str, object]
+    text: str
+
+
+def run_all(runner: ExperimentRunner | None = None, charts: bool = False) -> FullReport:
+    """Run every table/figure; returns results and the full report text.
+
+    With ``charts=True`` the figures additionally render as terminal
+    charts below their tables.
+    """
+    runner = runner or ExperimentRunner()
+    results: dict[str, object] = {}
+    sections: list[str] = []
+    for title, module in _SECTIONS:
+        result = module.run(runner)
+        results[module.__name__.rsplit(".", 1)[-1]] = result
+        rule = "=" * len(title)
+        body = module.render(result)
+        if charts and hasattr(module, "render_chart"):
+            body += "\n\n" + module.render_chart(result)
+        sections.append(f"{title}\n{rule}\n{body}")
+    return FullReport(results=results, text="\n\n".join(sections))

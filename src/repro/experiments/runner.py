@@ -1,0 +1,205 @@
+"""Shared experiment execution with trace and result caching.
+
+An :class:`ExperimentRunner` pins the experimental frame (CPU count,
+seed, workload scale) and memoises:
+
+* *clean traces* per (workload, restructured) -- generation is pure
+  Python and worth avoiding per strategy (a small LRU bounds memory);
+* *simulation results* per (workload, restructured, strategy, machine)
+  -- Figure 1, Table 2, Figure 2 and Figure 3 all share runs.
+
+Annotated (prefetch-inserted) traces are *not* cached: they are cheap
+to rebuild relative to simulation and expensive to hold.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any
+
+from repro.common.config import MachineConfig, SimulationConfig
+from repro.metrics.compare import RunComparison, compare_runs
+from repro.metrics.results import RunMetrics
+from repro.prefetch.insertion import insert_prefetches
+from repro.prefetch.strategies import NP, PrefetchStrategy
+from repro.sim.engine import simulate
+from repro.trace.stream import MultiTrace
+from repro.workloads.registry import generate_workload
+
+__all__ = [
+    "DEFAULT_TRANSFER_LATENCIES",
+    "ExperimentRunner",
+    "StrategyResult",
+    "run_strategy",
+]
+
+#: The paper's data-bus transfer-latency sweep (Table 2, Figure 2).
+DEFAULT_TRANSFER_LATENCIES: tuple[int, ...] = (4, 8, 16, 32)
+
+#: Transfer latency used by the fixed-machine experiments (Figures 1, 3;
+#: Tables 3, 4).
+DEFAULT_FIGURE_LATENCY = 8
+
+
+@dataclass(frozen=True)
+class StrategyResult:
+    """A strategy run bundled with its NP baseline and the comparison."""
+
+    run: RunMetrics
+    baseline: RunMetrics
+    comparison: RunComparison
+
+
+def _strategy_key(strategy: PrefetchStrategy) -> tuple:
+    # PrefetchStrategy is a frozen dataclass: its equality/hash already
+    # covers every field, so the instance itself is the cache key.
+    return (strategy,)
+
+
+def _machine_key(machine: MachineConfig) -> tuple:
+    return tuple(sorted(machine.describe().items()))
+
+
+class ExperimentRunner:
+    """Caching façade over generate → insert → simulate.
+
+    Args:
+        num_cpus: processors for every run.
+        seed: workload-generation seed.
+        scale: workload work multiplier (trace length knob).
+        trace_cache_size: clean traces kept in memory (LRU).
+    """
+
+    def __init__(
+        self,
+        num_cpus: int = 12,
+        seed: int = 42,
+        scale: float = 1.0,
+        trace_cache_size: int = 3,
+    ) -> None:
+        self.num_cpus = num_cpus
+        self.seed = seed
+        self.scale = scale
+        self._trace_cache: OrderedDict[tuple, MultiTrace] = OrderedDict()
+        self._trace_cache_size = trace_cache_size
+        self._results: dict[tuple, RunMetrics] = {}
+        self._trace_metadata: dict[tuple, dict[str, Any]] = {}
+
+    def base_machine(self) -> MachineConfig:
+        """The default machine for this runner's frame (matching CPUs)."""
+        return MachineConfig(num_cpus=self.num_cpus)
+
+    # --------------------------------------------------------------- traces
+
+    def clean_trace(self, workload: str, restructured: bool = False) -> MultiTrace:
+        """The NP (un-annotated) trace for a workload variant (cached)."""
+        key = (workload, restructured)
+        trace = self._trace_cache.get(key)
+        if trace is not None:
+            self._trace_cache.move_to_end(key)
+            return trace
+        trace = generate_workload(
+            workload,
+            num_cpus=self.num_cpus,
+            seed=self.seed,
+            scale=self.scale,
+            restructured=restructured,
+        )
+        self._trace_cache[key] = trace
+        self._trace_metadata[key] = dict(trace.metadata)
+        while len(self._trace_cache) > self._trace_cache_size:
+            self._trace_cache.popitem(last=False)
+        return trace
+
+    def trace_metadata(self, workload: str, restructured: bool = False) -> dict[str, Any]:
+        """Metadata of a previously generated trace (generates if needed)."""
+        key = (workload, restructured)
+        if key not in self._trace_metadata:
+            self.clean_trace(workload, restructured)
+        return self._trace_metadata[key]
+
+    # ----------------------------------------------------------------- runs
+
+    def run(
+        self,
+        workload: str,
+        strategy: PrefetchStrategy,
+        machine: MachineConfig,
+        restructured: bool = False,
+    ) -> RunMetrics:
+        """Simulate one configuration (memoised)."""
+        key = (workload, restructured, _strategy_key(strategy), _machine_key(machine))
+        cached = self._results.get(key)
+        if cached is not None:
+            return cached
+        clean = self.clean_trace(workload, restructured)
+        annotated, _report = insert_prefetches(clean, strategy, machine.cache)
+        label = strategy.name if not restructured else f"{strategy.name}+restructured"
+        result = simulate(annotated, machine, strategy_name=label, sim_config=SimulationConfig())
+        self._results[key] = result
+        return result
+
+    def compare(
+        self,
+        workload: str,
+        strategy: PrefetchStrategy,
+        machine: MachineConfig,
+        restructured: bool = False,
+    ) -> StrategyResult:
+        """Run a strategy and its NP baseline; bundle the comparison.
+
+        The baseline shares the restructuring flag: restructured runs are
+        compared against the restructured NP run, as in Table 5.
+        """
+        baseline = self.run(workload, NP, machine, restructured)
+        run = self.run(workload, strategy, machine, restructured)
+        return StrategyResult(run=run, baseline=baseline, comparison=compare_runs(baseline, run))
+
+    def sweep(
+        self,
+        workload: str,
+        strategies: tuple[PrefetchStrategy, ...],
+        machine: MachineConfig,
+        transfer_latencies: tuple[int, ...] = DEFAULT_TRANSFER_LATENCIES,
+        restructured: bool = False,
+    ) -> dict[int, dict[str, RunMetrics]]:
+        """Run strategies across the bus-latency sweep.
+
+        Returns ``{transfer_cycles: {strategy_name: RunMetrics}}``.
+        """
+        out: dict[int, dict[str, RunMetrics]] = {}
+        for cycles in transfer_latencies:
+            m = machine.with_transfer_cycles(cycles)
+            out[cycles] = {
+                s.name: self.run(workload, s, m, restructured) for s in strategies
+            }
+        return out
+
+    @property
+    def cached_run_count(self) -> int:
+        """Number of memoised simulation results."""
+        return len(self._results)
+
+
+_DEFAULT_RUNNER: ExperimentRunner | None = None
+
+
+def default_runner() -> ExperimentRunner:
+    """A process-wide shared runner (used by :func:`run_strategy`)."""
+    global _DEFAULT_RUNNER
+    if _DEFAULT_RUNNER is None:
+        _DEFAULT_RUNNER = ExperimentRunner()
+    return _DEFAULT_RUNNER
+
+
+def run_strategy(
+    workload: str,
+    strategy: PrefetchStrategy,
+    machine: MachineConfig | None = None,
+    restructured: bool = False,
+) -> StrategyResult:
+    """One-call convenience: run a strategy vs. NP on the default runner."""
+    return default_runner().compare(
+        workload, strategy, machine or MachineConfig(), restructured
+    )

@@ -1,0 +1,64 @@
+"""Table 2: selected bus utilizations.
+
+The paper's Table 2 reports data-bus utilization for every workload and
+prefetching discipline at data-transfer latencies of 4, 8, 16 and 32
+cycles.  Shapes to reproduce:
+
+* bus demand increases with prefetching for all applications at all
+  contention levels;
+* the high-miss-rate workloads (Mp3d, Pverify) saturate (utilization
+  approaching 1.0) at the 16- and 32-cycle transfers;
+* Water never comes close to saturation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.config import MachineConfig
+from repro.experiments.runner import DEFAULT_TRANSFER_LATENCIES, ExperimentRunner
+from repro.metrics.formatting import format_table
+from repro.prefetch.strategies import ALL_STRATEGIES
+from repro.workloads.registry import ALL_WORKLOAD_NAMES
+
+__all__ = ["Table2Result", "render", "run"]
+
+
+@dataclass
+class Table2Result:
+    """``utilization[workload][strategy][transfer_cycles]`` -> float."""
+
+    transfer_latencies: tuple[int, ...]
+    utilization: dict[str, dict[str, dict[int, float]]]
+
+
+def run(
+    runner: ExperimentRunner | None = None,
+    transfer_latencies: tuple[int, ...] = DEFAULT_TRANSFER_LATENCIES,
+) -> Table2Result:
+    """Sweep all workloads, strategies and transfer latencies."""
+    runner = runner or ExperimentRunner()
+    table: dict[str, dict[str, dict[int, float]]] = {}
+    for workload in ALL_WORKLOAD_NAMES:
+        table[workload] = {s.name: {} for s in ALL_STRATEGIES}
+        for cycles in transfer_latencies:
+            machine = runner.base_machine().with_transfer_cycles(cycles)
+            for strategy in ALL_STRATEGIES:
+                result = runner.run(workload, strategy, machine)
+                table[workload][strategy.name][cycles] = result.bus_utilization
+    return Table2Result(transfer_latencies=transfer_latencies, utilization=table)
+
+
+def render(result: Table2Result) -> str:
+    """Text rendering in the paper's Table 2 shape."""
+    headers = ["Workload", "Discipline"] + [
+        f"{c} cycles" for c in result.transfer_latencies
+    ]
+    rows = []
+    for workload, by_strategy in result.utilization.items():
+        for strategy, by_cycles in by_strategy.items():
+            rows.append(
+                [workload, strategy]
+                + [round(by_cycles[c], 2) for c in result.transfer_latencies]
+            )
+    return format_table(headers, rows, title="Table 2: Selected bus utilizations")

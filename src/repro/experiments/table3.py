@@ -1,0 +1,69 @@
+"""Table 3: total invalidation and false-sharing miss rates.
+
+The paper's Table 3 reports, per workload (without prefetching), the
+total invalidation miss rate and the portion of it attributable to
+false sharing.  The headline shape: *for most of the benchmarks, over
+half of the invalidation misses are false sharing* -- which motivates
+the restructuring experiments of Tables 4 and 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.config import MachineConfig
+from repro.experiments.runner import DEFAULT_FIGURE_LATENCY, ExperimentRunner
+from repro.metrics.formatting import format_table
+from repro.prefetch.strategies import NP
+from repro.workloads.registry import ALL_WORKLOAD_NAMES
+
+__all__ = ["Table3Result", "render", "run"]
+
+
+@dataclass
+class Table3Result:
+    """Per workload: invalidation MR, false-sharing MR, false fraction."""
+
+    transfer_cycles: int
+    rows: dict[str, dict[str, float]]
+
+    def false_fraction(self, workload: str) -> float:
+        """False-sharing misses as a fraction of invalidation misses."""
+        row = self.rows[workload]
+        return row["false_sharing_mr"] / row["invalidation_mr"] if row["invalidation_mr"] else 0.0
+
+
+def run(
+    runner: ExperimentRunner | None = None,
+    transfer_cycles: int = DEFAULT_FIGURE_LATENCY,
+) -> Table3Result:
+    """Measure NP invalidation/false-sharing rates for all workloads."""
+    runner = runner or ExperimentRunner()
+    machine = runner.base_machine().with_transfer_cycles(transfer_cycles)
+    rows: dict[str, dict[str, float]] = {}
+    for workload in ALL_WORKLOAD_NAMES:
+        result = runner.run(workload, NP, machine)
+        rows[workload] = {
+            "invalidation_mr": result.invalidation_miss_rate,
+            "false_sharing_mr": result.false_sharing_miss_rate,
+        }
+    return Table3Result(transfer_cycles=transfer_cycles, rows=rows)
+
+
+def render(result: Table3Result) -> str:
+    """Text rendering in the paper's Table 3 shape."""
+    rows = []
+    for workload, row in result.rows.items():
+        rows.append(
+            [
+                workload,
+                round(row["invalidation_mr"], 4),
+                round(row["false_sharing_mr"], 4),
+                round(result.false_fraction(workload), 2),
+            ]
+        )
+    return format_table(
+        ["Workload", "Total Invalidation MR", "Total False Sharing MR", "False fraction"],
+        rows,
+        title="Table 3: Total invalidation and false sharing miss rates",
+    )

@@ -1,0 +1,91 @@
+"""Table 5: relative execution times for the restructured programs.
+
+The paper's Table 5 shows, for restructured Topopt and Pverify across
+the bus-latency sweep, the execution time of each discipline relative
+to the restructured NP baseline.  Shapes to reproduce (section 4.4):
+
+* restructured Topopt's cache behaviour is so improved there is little
+  left for prefetching to win;
+* restructured Pverify benefits more from prefetching (until the bus
+  saturates again);
+* the simplest prefetching algorithm (PREF) approaches the
+  write-shared-tailored one (PWS) once false sharing is gone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.config import MachineConfig
+from repro.experiments.runner import DEFAULT_TRANSFER_LATENCIES, ExperimentRunner
+from repro.metrics.formatting import format_table
+from repro.prefetch.strategies import NP, PREF, PWS
+from repro.workloads.registry import RESTRUCTURABLE_WORKLOAD_NAMES
+
+__all__ = ["Table5Result", "render", "run"]
+
+_STRATEGIES = (PREF, PWS)
+
+
+@dataclass
+class Table5Result:
+    """``relative[(workload, strategy)][transfer_cycles]`` -> exec/NP."""
+
+    transfer_latencies: tuple[int, ...]
+    relative: dict[tuple[str, str], dict[int, float]]
+    #: Restructured-NP speedup over original-NP, per workload and latency
+    #: (how much the restructuring alone bought).
+    restructuring_gain: dict[str, dict[int, float]]
+
+
+def run(
+    runner: ExperimentRunner | None = None,
+    transfer_latencies: tuple[int, ...] = DEFAULT_TRANSFER_LATENCIES,
+) -> Table5Result:
+    """Measure restructured relative execution times across the sweep."""
+    runner = runner or ExperimentRunner()
+    relative: dict[tuple[str, str], dict[int, float]] = {}
+    gain: dict[str, dict[int, float]] = {}
+    for workload in RESTRUCTURABLE_WORKLOAD_NAMES:
+        gain[workload] = {}
+        for strategy in _STRATEGIES:
+            relative[(workload, strategy.name)] = {}
+        for cycles in transfer_latencies:
+            machine = runner.base_machine().with_transfer_cycles(cycles)
+            base_orig = runner.run(workload, NP, machine, restructured=False)
+            base_restr = runner.run(workload, NP, machine, restructured=True)
+            gain[workload][cycles] = base_orig.exec_cycles / base_restr.exec_cycles
+            for strategy in _STRATEGIES:
+                result = runner.run(workload, strategy, machine, restructured=True)
+                relative[(workload, strategy.name)][cycles] = (
+                    result.exec_cycles / base_restr.exec_cycles
+                )
+    return Table5Result(
+        transfer_latencies=transfer_latencies,
+        relative=relative,
+        restructuring_gain=gain,
+    )
+
+
+def render(result: Table5Result) -> str:
+    """Text rendering in the paper's Table 5 shape."""
+    headers = ["Workload", "Discipline"] + [
+        f"{c} cycles" for c in result.transfer_latencies
+    ]
+    rows = []
+    for (workload, strategy), by_cycles in result.relative.items():
+        rows.append(
+            [f"{workload}/restructured", strategy]
+            + [round(by_cycles[c], 3) for c in result.transfer_latencies]
+        )
+    table = format_table(
+        headers,
+        rows,
+        title="Table 5: Relative execution times for restructured programs",
+    )
+    gains = "\n".join(
+        f"restructuring alone sped up {wl} by "
+        + ", ".join(f"{g:.2f}x@{c}c" for c, g in by_c.items())
+        for wl, by_c in result.restructuring_gain.items()
+    )
+    return f"{table}\n{gains}"

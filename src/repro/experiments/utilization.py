@@ -1,0 +1,88 @@
+"""Processor utilizations before prefetching (section 4.2 text).
+
+The paper reads the headroom available to any latency-hiding technique
+off the NP processor utilizations: "the best any memory-latency hiding
+technique can do is to bring processor utilization to 1", so a Water at
+0.82 can gain at most ~1.2x while an Mp3d at 0.22-0.39 has room for
+2.5-4.5x.  This experiment reports the NP utilizations on the fastest
+and slowest buses and the implied maximum speedups, and compares the
+implied bound against the speedup each workload actually achieved
+(which falls far short for the memory-bound workloads -- the paper's
+core argument).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.config import MachineConfig
+from repro.experiments.runner import ExperimentRunner
+from repro.metrics.formatting import format_table
+from repro.prefetch.strategies import NP, PREFETCH_STRATEGIES
+from repro.workloads.registry import ALL_WORKLOAD_NAMES
+
+__all__ = ["UtilizationResult", "render", "run"]
+
+
+@dataclass
+class UtilizationResult:
+    """Per workload: NP utilization and bounds at both bus extremes."""
+
+    fast_cycles: int
+    slow_cycles: int
+    rows: dict[str, dict[str, float]]
+
+
+def run(
+    runner: ExperimentRunner | None = None,
+    fast_cycles: int = 4,
+    slow_cycles: int = 32,
+) -> UtilizationResult:
+    """Measure NP processor utilization and best achieved speedups."""
+    runner = runner or ExperimentRunner()
+    rows: dict[str, dict[str, float]] = {}
+    for workload in ALL_WORKLOAD_NAMES:
+        row: dict[str, float] = {}
+        for label, cycles in (("fast", fast_cycles), ("slow", slow_cycles)):
+            machine = runner.base_machine().with_transfer_cycles(cycles)
+            base = runner.run(workload, NP, machine)
+            util = base.processor_utilization
+            row[f"util_{label}"] = util
+            row[f"max_speedup_{label}"] = 1.0 / util if util else float("inf")
+            best = max(
+                base.exec_cycles / runner.run(workload, s, machine).exec_cycles
+                for s in PREFETCH_STRATEGIES
+            )
+            row[f"achieved_{label}"] = best
+        rows[workload] = row
+    return UtilizationResult(fast_cycles=fast_cycles, slow_cycles=slow_cycles, rows=rows)
+
+
+def render(result: UtilizationResult) -> str:
+    """Text rendering of the section 4.2 utilization discussion."""
+    rows = []
+    for workload, row in result.rows.items():
+        rows.append(
+            [
+                workload,
+                round(row["util_fast"], 2),
+                round(row["util_slow"], 2),
+                round(row["max_speedup_fast"], 2),
+                round(row["max_speedup_slow"], 2),
+                round(row["achieved_fast"], 2),
+                round(row["achieved_slow"], 2),
+            ]
+        )
+    return format_table(
+        [
+            "Workload",
+            f"NP util @{result.fast_cycles}c",
+            f"NP util @{result.slow_cycles}c",
+            "Max speedup (fast)",
+            "Max speedup (slow)",
+            "Achieved (fast)",
+            "Achieved (slow)",
+        ],
+        rows,
+        title="Processor utilizations before prefetching (section 4.2)",
+    )

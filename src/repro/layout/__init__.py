@@ -1,0 +1,23 @@
+"""Memory-layout modelling: data structures mapped to byte addresses.
+
+The workload kernels are real programs over synthetic data; this package
+gives them a C-like memory model -- records with fields, arrays of
+records, bump allocation into shared / private / sync regions -- so their
+reference streams have the spatial structure of compiled code.  False
+sharing arises here mechanically (two CPUs' fields co-resident in one
+cache line), and the Jeremiassen–Eggers-style restructuring is expressed
+as layout transformations: record padding and per-CPU grouping.
+"""
+
+from repro.layout.records import FieldSpec, RecordType
+from repro.layout.allocator import Allocator
+from repro.layout.arrays import ArrayHandle
+from repro.layout.memory import MemoryLayout
+
+__all__ = [
+    "Allocator",
+    "ArrayHandle",
+    "FieldSpec",
+    "MemoryLayout",
+    "RecordType",
+]

@@ -1,0 +1,46 @@
+"""Bump allocator for carving data structures out of an address region."""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigurationError
+
+__all__ = ["Allocator"]
+
+
+class Allocator:
+    """A simple bump allocator over ``[base, base + limit)``.
+
+    Args:
+        base: first byte address of the region.
+        limit: region size in bytes (allocation past it raises).
+        name: region label for error messages.
+    """
+
+    def __init__(self, base: int, limit: int, name: str = "region") -> None:
+        if limit <= 0:
+            raise ConfigurationError(f"allocator {name!r}: limit must be positive")
+        self.base = base
+        self.limit = limit
+        self.name = name
+        self._next = base
+
+    @property
+    def used(self) -> int:
+        """Bytes allocated so far."""
+        return self._next - self.base
+
+    def allocate(self, size: int, align: int = 4) -> int:
+        """Reserve ``size`` bytes aligned to ``align``; return the address."""
+        if size < 0:
+            raise ConfigurationError(f"allocator {self.name!r}: negative size {size}")
+        if align < 1 or (align & (align - 1)):
+            raise ConfigurationError(f"allocator {self.name!r}: align must be a power of two")
+        addr = (self._next + align - 1) & ~(align - 1)
+        end = addr + size
+        if end > self.base + self.limit:
+            raise ConfigurationError(
+                f"allocator {self.name!r} exhausted: need {size} bytes at {addr:#x}, "
+                f"region ends at {self.base + self.limit:#x}"
+            )
+        self._next = end
+        return addr

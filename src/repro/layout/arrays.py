@@ -1,0 +1,66 @@
+"""Array handles: addressable arrays of records."""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigurationError
+from repro.layout.records import RecordType
+
+__all__ = ["ArrayHandle"]
+
+
+class ArrayHandle:
+    """An array of ``count`` records of type ``record`` starting at ``base``.
+
+    The handle resolves ``(index, field, element)`` to a byte address; the
+    workload kernels use it everywhere they would index an array in C.
+
+    Attributes:
+        name: array label (diagnostics and footprint reports).
+        base: address of element 0.
+        record: the element record type.
+        count: number of elements.
+        shared: whether the array lives in shared memory (propagated onto
+            the emitted references).
+    """
+
+    __slots__ = ("name", "base", "record", "count", "shared", "stride")
+
+    def __init__(self, name: str, base: int, record: RecordType, count: int, shared: bool) -> None:
+        if count < 1:
+            raise ConfigurationError(f"array {name!r}: count must be >= 1")
+        self.name = name
+        self.base = base
+        self.record = record
+        self.count = count
+        self.shared = shared
+        self.stride = record.size
+
+    @property
+    def size_bytes(self) -> int:
+        """Total footprint of the array in bytes."""
+        return self.stride * self.count
+
+    def addr(self, index: int, field: str | None = None, element: int = 0) -> int:
+        """Byte address of ``array[index].field[element]``.
+
+        With ``field=None`` the first field's address (the record base) is
+        returned.
+        """
+        if not 0 <= index < self.count:
+            raise ConfigurationError(
+                f"array {self.name!r}: index {index} out of range [0, {self.count})"
+            )
+        base = self.base + index * self.stride
+        if field is None:
+            return base
+        return base + self.record.offset(field, element)
+
+    def field_size(self, field: str) -> int:
+        """Size of one element of ``field`` in bytes."""
+        return self.record.field_size(field)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ArrayHandle({self.name!r}, base={self.base:#x}, count={self.count}, "
+            f"stride={self.stride}, shared={self.shared})"
+        )

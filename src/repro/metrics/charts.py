@@ -1,0 +1,155 @@
+"""Terminal chart rendering for the paper's figures.
+
+The original figures are bar charts (Figures 1 and 3) and line plots
+(Figure 2).  These helpers render the same shapes as Unicode/ASCII
+charts so a terminal-only reproduction still *looks* like the paper:
+
+* :func:`bar_chart` -- grouped horizontal bars (Figure 1 style);
+* :func:`stacked_bar_chart` -- stacked horizontal bars (Figure 3 style);
+* :func:`line_chart` -- multi-series plot on a character grid
+  (Figure 2 style).
+
+No dependencies; everything returns a plain string.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["bar_chart", "line_chart", "stacked_bar_chart"]
+
+_FULL = "█"
+_STACK_GLYPHS = "█▓▒░▚▞▘"
+
+
+def _fmt(value: float) -> str:
+    return f"{value:.3f}" if value < 10 else f"{value:.1f}"
+
+
+def bar_chart(
+    data: Mapping[str, float],
+    title: str | None = None,
+    width: int = 50,
+    max_value: float | None = None,
+) -> str:
+    """Horizontal bars, one per labelled value.
+
+    Example::
+
+        NP   |██████████████████████ 0.073
+        PREF |██████████████████ 0.060
+    """
+    if not data:
+        return title or ""
+    peak = max_value if max_value is not None else max(data.values())
+    peak = peak or 1.0
+    label_w = max(len(k) for k in data)
+    lines = [title] if title else []
+    for label, value in data.items():
+        filled = int(round(width * max(0.0, value) / peak))
+        lines.append(f"{label.ljust(label_w)} |{_FULL * filled} {_fmt(value)}")
+    return "\n".join(lines)
+
+
+def stacked_bar_chart(
+    data: Mapping[str, Mapping[str, float]],
+    title: str | None = None,
+    width: int = 60,
+) -> str:
+    """Stacked horizontal bars with a glyph legend (Figure 3 style).
+
+    ``data`` maps bar label -> ordered component mapping; components are
+    drawn with distinct fill glyphs and a legend is appended.
+    """
+    if not data:
+        return title or ""
+    components: list[str] = []
+    for comps in data.values():
+        for name in comps:
+            if name not in components:
+                components.append(name)
+    glyph = {name: _STACK_GLYPHS[i % len(_STACK_GLYPHS)] for i, name in enumerate(components)}
+    peak = max((sum(c.values()) for c in data.values()), default=1.0) or 1.0
+    label_w = max(len(k) for k in data)
+
+    lines = [title] if title else []
+    for label, comps in data.items():
+        bar = ""
+        for name in components:
+            value = comps.get(name, 0.0)
+            bar += glyph[name] * int(round(width * max(0.0, value) / peak))
+        lines.append(f"{label.ljust(label_w)} |{bar} {_fmt(sum(comps.values()))}")
+    legend = "  ".join(f"{glyph[name]}={name}" for name in components)
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)
+
+
+def line_chart(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    title: str | None = None,
+    width: int = 60,
+    height: int = 16,
+    y_min: float | None = None,
+    y_max: float | None = None,
+) -> str:
+    """Multi-series line plot on a character grid (Figure 2 style).
+
+    ``series`` maps a series name to ``(x, y)`` points.  Each series is
+    drawn with its own marker (its name's first letter); collisions show
+    the later series.  Axes are annotated with the data ranges.
+    """
+    points = [p for pts in series.values() for p in pts]
+    if not points:
+        return title or ""
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    lo_x, hi_x = min(xs), max(xs)
+    lo_y = y_min if y_min is not None else min(ys)
+    hi_y = y_max if y_max is not None else max(ys)
+    if hi_x == lo_x:
+        hi_x = lo_x + 1
+    if hi_y == lo_y:
+        hi_y = lo_y + 1
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def plot(x: float, y: float, marker: str) -> None:
+        col = int(round((x - lo_x) / (hi_x - lo_x) * (width - 1)))
+        row = int(round((hi_y - y) / (hi_y - lo_y) * (height - 1)))
+        grid[min(max(row, 0), height - 1)][min(max(col, 0), width - 1)] = marker
+
+    # Distinct markers per series: prefer the first unused letter of the
+    # name, falling back to a symbol palette.
+    markers: dict[str, str] = {}
+    palette = list("*+ox#%@&")
+    for name in series:
+        chosen = next(
+            (ch.upper() for ch in name if ch.isalnum() and ch.upper() not in markers.values()),
+            None,
+        )
+        if chosen is None:
+            chosen = next((p for p in palette if p not in markers.values()), "*")
+        markers[name] = chosen
+
+    for name, pts in series.items():
+        marker = markers[name]
+        ordered = sorted(pts)
+        # Linear interpolation between consecutive points for a line feel.
+        for (x0, y0), (x1, y1) in zip(ordered, ordered[1:]):
+            steps = max(2, int((x1 - x0) / (hi_x - lo_x) * width)) if hi_x > lo_x else 2
+            for i in range(steps + 1):
+                t = i / steps
+                plot(x0 + t * (x1 - x0), y0 + t * (y1 - y0), marker)
+        for x, y in ordered:
+            plot(x, y, marker)
+
+    lines = [title] if title else []
+    lines.append(f"{_fmt(hi_y):>8} ┤" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 8 + " │" + "".join(row))
+    lines.append(f"{_fmt(lo_y):>8} ┤" + "".join(grid[-1]))
+    lines.append(" " * 8 + " └" + "─" * width)
+    lines.append(" " * 10 + f"{_fmt(lo_x)}".ljust(width - 8) + f"{_fmt(hi_x)}")
+    legend = "  ".join(f"{markers[name]}={name}" for name in series)
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)

@@ -1,0 +1,78 @@
+"""Cross-run comparisons: relative execution times and speedups.
+
+Everything in the paper's Figure 2 and the headline results is a
+comparison of a prefetching run against the NP run on the *same* machine
+and workload; these helpers centralise that arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ReproError
+from repro.metrics.results import RunMetrics
+
+__all__ = ["RunComparison", "compare_runs", "speedup_table"]
+
+
+@dataclass(frozen=True)
+class RunComparison:
+    """A prefetching run measured against its NP baseline.
+
+    Attributes:
+        workload / strategy: identity of the compared run.
+        relative_exec_time: strategy execution time / NP execution time
+            (Figure 2's y-axis; < 1 means prefetching helped).
+        speedup: the reciprocal, NP / strategy.
+        cpu_miss_reduction: fractional drop in CPU miss rate vs. NP.
+        adjusted_miss_reduction: same for the adjusted CPU miss rate.
+        total_miss_increase: fractional *rise* in total miss rate vs. NP.
+    """
+
+    workload: str
+    strategy: str
+    relative_exec_time: float
+    speedup: float
+    cpu_miss_reduction: float
+    adjusted_miss_reduction: float
+    total_miss_increase: float
+
+
+def compare_runs(baseline: RunMetrics, run: RunMetrics) -> RunComparison:
+    """Compare ``run`` against its no-prefetching ``baseline``."""
+    if baseline.workload != run.workload:
+        raise ReproError(
+            f"cannot compare across workloads ({baseline.workload!r} vs {run.workload!r})"
+        )
+    if baseline.exec_cycles <= 0:
+        raise ReproError("baseline run has no execution time")
+
+    def reduction(before: float, after: float) -> float:
+        return (before - after) / before if before else 0.0
+
+    rel = run.exec_cycles / baseline.exec_cycles
+    return RunComparison(
+        workload=run.workload,
+        strategy=run.strategy,
+        relative_exec_time=rel,
+        speedup=1.0 / rel if rel else float("inf"),
+        cpu_miss_reduction=reduction(baseline.cpu_miss_rate, run.cpu_miss_rate),
+        adjusted_miss_reduction=reduction(
+            baseline.adjusted_cpu_miss_rate, run.adjusted_cpu_miss_rate
+        ),
+        total_miss_increase=-reduction(baseline.total_miss_rate, run.total_miss_rate),
+    )
+
+
+def speedup_table(
+    runs_by_strategy: dict[str, RunMetrics], baseline_name: str = "NP"
+) -> dict[str, RunComparison]:
+    """Compare every non-baseline run in a dict keyed by strategy name."""
+    baseline = runs_by_strategy.get(baseline_name)
+    if baseline is None:
+        raise ReproError(f"no baseline run named {baseline_name!r} supplied")
+    return {
+        name: compare_runs(baseline, run)
+        for name, run in runs_by_strategy.items()
+        if name != baseline_name
+    }

@@ -1,0 +1,74 @@
+"""Plain-text table rendering for experiment reports.
+
+The experiment harness prints the same rows/series the paper reports;
+these helpers keep the formatting consistent (fixed-width, aligned,
+pipe-separated) without pulling in any dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.metrics.results import RunMetrics
+
+__all__ = ["format_run_summary", "format_table"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render a fixed-width text table.
+
+    Floats are shown with three decimals; everything else via ``str``.
+    """
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.3f}"
+        return str(value)
+
+    str_rows = [[cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, text in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(text))
+            else:
+                widths.append(len(text))
+
+    def line(cells: Sequence[str]) -> str:
+        padded = [c.ljust(widths[i]) for i, c in enumerate(cells)]
+        return "| " + " | ".join(padded) + " |"
+
+    rule = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    out: list[str] = []
+    if title:
+        out.append(title)
+    out.append(rule)
+    out.append(line(list(headers)))
+    out.append(rule)
+    for row in str_rows:
+        out.append(line(row))
+    out.append(rule)
+    return "\n".join(out)
+
+
+def format_run_summary(run: RunMetrics) -> str:
+    """A one-run human-readable summary block."""
+    mc = run.miss_counts
+    lines = [
+        f"{run.workload} / {run.strategy}",
+        f"  execution time      : {run.exec_cycles:,} cycles",
+        f"  demand references   : {run.demand_refs:,}",
+        f"  CPU miss rate       : {run.cpu_miss_rate:.4f}"
+        f" (adjusted {run.adjusted_cpu_miss_rate:.4f})",
+        f"  total miss rate     : {run.total_miss_rate:.4f}",
+        f"  invalidation misses : {mc.invalidation:,}"
+        f" ({mc.false_sharing:,} false sharing)",
+        f"  prefetches issued   : {run.prefetches_issued:,}"
+        f" ({run.prefetch_fills:,} used the bus)",
+        f"  bus utilization     : {run.bus_utilization:.3f}",
+        f"  processor utilization: {run.processor_utilization:.3f}",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,294 @@
+"""Result containers produced by one simulation run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.bus.bus import BusStats
+
+__all__ = ["CpuMetrics", "MissCounts", "RunMetrics"]
+
+
+@dataclass
+class MissCounts:
+    """CPU (demand) miss counts broken down as in Figure 3 of the paper.
+
+    The two classification axes are *cause* (non-sharing vs. invalidation,
+    the latter split into true and false sharing) and *coverage* (was the
+    access covered by an inserted prefetch), plus the fifth category of
+    accesses that found their prefetch still in progress.
+    """
+
+    nonsharing_unprefetched: int = 0
+    nonsharing_prefetched: int = 0
+    inval_true_unprefetched: int = 0
+    inval_true_prefetched: int = 0
+    inval_false_unprefetched: int = 0
+    inval_false_prefetched: int = 0
+    prefetch_in_progress: int = 0
+
+    @property
+    def nonsharing(self) -> int:
+        """All non-sharing CPU misses (cold + capacity + conflict)."""
+        return self.nonsharing_unprefetched + self.nonsharing_prefetched
+
+    @property
+    def invalidation(self) -> int:
+        """All invalidation CPU misses (true + false sharing)."""
+        return (
+            self.inval_true_unprefetched
+            + self.inval_true_prefetched
+            + self.inval_false_unprefetched
+            + self.inval_false_prefetched
+        )
+
+    @property
+    def false_sharing(self) -> int:
+        """Invalidation misses caused by false sharing."""
+        return self.inval_false_unprefetched + self.inval_false_prefetched
+
+    @property
+    def true_sharing(self) -> int:
+        """Invalidation misses caused by true sharing."""
+        return self.inval_true_unprefetched + self.inval_true_prefetched
+
+    @property
+    def prefetched(self) -> int:
+        """CPU misses on accesses that *were* covered by a prefetch
+        (the prefetched data disappeared or never made it in time)."""
+        return (
+            self.nonsharing_prefetched
+            + self.inval_true_prefetched
+            + self.inval_false_prefetched
+            + self.prefetch_in_progress
+        )
+
+    @property
+    def cpu_misses(self) -> int:
+        """All CPU misses, including prefetch-in-progress."""
+        return self.nonsharing + self.invalidation + self.prefetch_in_progress
+
+    @property
+    def adjusted_cpu_misses(self) -> int:
+        """CPU misses excluding prefetch-in-progress."""
+        return self.nonsharing + self.invalidation
+
+    def add(self, other: "MissCounts") -> None:
+        """Accumulate ``other`` into this instance."""
+        self.nonsharing_unprefetched += other.nonsharing_unprefetched
+        self.nonsharing_prefetched += other.nonsharing_prefetched
+        self.inval_true_unprefetched += other.inval_true_unprefetched
+        self.inval_true_prefetched += other.inval_true_prefetched
+        self.inval_false_unprefetched += other.inval_false_unprefetched
+        self.inval_false_prefetched += other.inval_false_prefetched
+        self.prefetch_in_progress += other.prefetch_in_progress
+
+
+@dataclass
+class CpuMetrics:
+    """Per-processor counters for one run.
+
+    Attributes:
+        cpu: processor id.
+        demand_refs: demand data references executed (sync excluded).
+        sync_refs: lock/barrier read-modify-write accesses.
+        misses: demand-miss breakdown.
+        sync_misses: misses on sync accesses (bus traffic, not in rates).
+        prefetches_issued: prefetch instructions executed.
+        prefetch_hits: prefetches that hit in cache (no bus operation).
+        prefetch_fills: prefetches that went to the bus (prefetch misses).
+        prefetch_squashed: prefetches dropped because a fill for the same
+            block was already in flight.
+        upgrades: UPGRADE bus operations initiated (write hits on SHARED).
+        writebacks: dirty-victim copy-backs initiated.
+        victim_hits: demand accesses recovered from the victim cache.
+        miss_wait_cycles: cycles demand accesses spent stalled on misses
+            (fills, upgrades and prefetch-in-progress waits); divided by
+            the miss count this is the paper's "access time for CPU
+            misses", which contention inflates.
+        busy_cycles: cycles doing useful work (instruction gaps + 1-cycle
+            cache-hit accesses + prefetch issue overhead).
+        stall_cycles: cycles stalled on misses/upgrades/prefetch-buffer.
+        sync_wait_cycles: cycles blocked on locks/barriers.
+        prefetch_buffer_stalls: times the CPU stalled issuing a prefetch
+            because the 16-deep buffer was full.
+        finish_time: cycle at which this CPU retired its last event.
+    """
+
+    cpu: int
+    demand_refs: int = 0
+    sync_refs: int = 0
+    misses: MissCounts = field(default_factory=MissCounts)
+    sync_misses: int = 0
+    prefetches_issued: int = 0
+    prefetch_hits: int = 0
+    prefetch_fills: int = 0
+    prefetch_squashed: int = 0
+    upgrades: int = 0
+    writebacks: int = 0
+    victim_hits: int = 0
+    miss_wait_cycles: int = 0
+    busy_cycles: int = 0
+    stall_cycles: int = 0
+    sync_wait_cycles: int = 0
+    prefetch_buffer_stalls: int = 0
+    finish_time: int = 0
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of this CPU's lifetime spent doing useful work."""
+        return self.busy_cycles / self.finish_time if self.finish_time else 0.0
+
+
+@dataclass
+class RunMetrics:
+    """Complete results of one (workload, strategy, machine) simulation.
+
+    The rate properties implement the paper's metrics; raw counters stay
+    available for deeper analysis and the test suite's invariants.
+    """
+
+    workload: str
+    strategy: str
+    machine: dict[str, Any]
+    exec_cycles: int
+    per_cpu: list[CpuMetrics]
+    bus: BusStats
+
+    # ------------------------------------------------------------ aggregates
+
+    @property
+    def num_cpus(self) -> int:
+        """Processor count."""
+        return len(self.per_cpu)
+
+    @property
+    def demand_refs(self) -> int:
+        """Total demand references across CPUs (rate denominator)."""
+        return sum(c.demand_refs for c in self.per_cpu)
+
+    @property
+    def miss_counts(self) -> MissCounts:
+        """Summed demand-miss breakdown."""
+        total = MissCounts()
+        for cpu in self.per_cpu:
+            total.add(cpu.misses)
+        return total
+
+    @property
+    def prefetches_issued(self) -> int:
+        """Prefetch instructions executed across CPUs."""
+        return sum(c.prefetches_issued for c in self.per_cpu)
+
+    @property
+    def prefetch_fills(self) -> int:
+        """Prefetch accesses that missed and used the bus."""
+        return sum(c.prefetch_fills for c in self.per_cpu)
+
+    @property
+    def upgrades(self) -> int:
+        """Invalidating (upgrade) bus operations."""
+        return sum(c.upgrades for c in self.per_cpu)
+
+    # ----------------------------------------------------------------- rates
+
+    @property
+    def cpu_miss_rate(self) -> float:
+        """CPU misses (incl. prefetch-in-progress) per demand reference."""
+        refs = self.demand_refs
+        return self.miss_counts.cpu_misses / refs if refs else 0.0
+
+    @property
+    def adjusted_cpu_miss_rate(self) -> float:
+        """CPU miss rate excluding prefetch-in-progress misses."""
+        refs = self.demand_refs
+        return self.miss_counts.adjusted_cpu_misses / refs if refs else 0.0
+
+    @property
+    def total_miss_rate(self) -> float:
+        """All fill-generating misses (demand + prefetch) per reference.
+
+        Prefetch-in-progress misses do not generate a second fill, so the
+        numerator is adjusted CPU misses plus prefetch fills.
+        """
+        refs = self.demand_refs
+        if not refs:
+            return 0.0
+        return (self.miss_counts.adjusted_cpu_misses + self.prefetch_fills) / refs
+
+    @property
+    def invalidation_miss_rate(self) -> float:
+        """Invalidation misses per demand reference (Table 3, column 1)."""
+        refs = self.demand_refs
+        return self.miss_counts.invalidation / refs if refs else 0.0
+
+    @property
+    def false_sharing_miss_rate(self) -> float:
+        """False-sharing misses per demand reference (Table 3, column 2)."""
+        refs = self.demand_refs
+        return self.miss_counts.false_sharing / refs if refs else 0.0
+
+    @property
+    def avg_miss_latency(self) -> float:
+        """Mean cycles a demand CPU miss stalled the processor.
+
+        The unloaded machine floor is ``memory_latency``; anything above
+        it is queuing for the contended bus -- the quantity the paper
+        says grows with prefetching ("an increase in the access time for
+        CPU misses, due to high memory subsystem contention").
+        """
+        misses = self.miss_counts.cpu_misses
+        if not misses:
+            return 0.0
+        return sum(c.miss_wait_cycles for c in self.per_cpu) / misses
+
+    @property
+    def bus_utilization(self) -> float:
+        """Fraction of execution time the contended resource was busy."""
+        return self.bus.utilization(self.exec_cycles)
+
+    @property
+    def processor_utilization(self) -> float:
+        """Mean fraction of time CPUs spent doing useful work.
+
+        Computed against the run's execution time, so CPUs idling after
+        finishing early count as idle (matches the intuition behind the
+        paper's "best any latency-hiding technique can do is bring
+        processor utilization to 1").
+        """
+        if not self.exec_cycles or not self.per_cpu:
+            return 0.0
+        return sum(c.busy_cycles for c in self.per_cpu) / (
+            self.exec_cycles * len(self.per_cpu)
+        )
+
+    def describe(self) -> dict[str, Any]:
+        """Flat summary dict (JSON-friendly; used by reports and caching)."""
+        mc = self.miss_counts
+        return {
+            "workload": self.workload,
+            "strategy": self.strategy,
+            "exec_cycles": self.exec_cycles,
+            "demand_refs": self.demand_refs,
+            "cpu_miss_rate": self.cpu_miss_rate,
+            "adjusted_cpu_miss_rate": self.adjusted_cpu_miss_rate,
+            "total_miss_rate": self.total_miss_rate,
+            "invalidation_miss_rate": self.invalidation_miss_rate,
+            "false_sharing_miss_rate": self.false_sharing_miss_rate,
+            "bus_utilization": self.bus_utilization,
+            "avg_miss_latency": self.avg_miss_latency,
+            "processor_utilization": self.processor_utilization,
+            "prefetches_issued": self.prefetches_issued,
+            "prefetch_fills": self.prefetch_fills,
+            "upgrades": self.upgrades,
+            "miss_components": {
+                "nonsharing_unprefetched": mc.nonsharing_unprefetched,
+                "nonsharing_prefetched": mc.nonsharing_prefetched,
+                "inval_true_unprefetched": mc.inval_true_unprefetched,
+                "inval_true_prefetched": mc.inval_true_prefetched,
+                "inval_false_unprefetched": mc.inval_false_unprefetched,
+                "inval_false_prefetched": mc.inval_false_prefetched,
+                "prefetch_in_progress": mc.prefetch_in_progress,
+            },
+        }

@@ -1,0 +1,50 @@
+"""Compiler-directed prefetch emulation (the paper's section 3.1).
+
+The paper emulates an *ideal* compiler prefetcher by post-processing the
+address traces: each CPU's reference stream is run through a
+uniprocessor *filter cache* of the same geometry as the real cache, the
+misses are marked, and prefetch instructions are inserted a *prefetch
+distance* of estimated CPU cycles ahead of each marked reference.  This
+package reproduces that pipeline and the five strategies built on it:
+
+=======  ==========================================================
+NP       no prefetching (the baseline all results are relative to)
+PREF     oracle non-sharing prefetching, distance 100
+EXCL     PREF, but expected write misses prefetch in exclusive mode
+LPD      PREF with a long prefetch distance (400)
+PWS      PREF plus aggressive redundant prefetching of write-shared
+         data chosen by a 16-line associative temporal-locality filter
+=======  ==========================================================
+"""
+
+from repro.prefetch.filter import FilterCache
+from repro.prefetch.wsfilter import AssociativeFilter, find_write_shared_blocks
+from repro.prefetch.strategies import (
+    ALL_STRATEGIES,
+    EXCL,
+    LPD,
+    NP,
+    PREF,
+    PREFETCH_STRATEGIES,
+    PWS,
+    PrefetchStrategy,
+    strategy_by_name,
+)
+from repro.prefetch.insertion import InsertionReport, insert_prefetches
+
+__all__ = [
+    "ALL_STRATEGIES",
+    "AssociativeFilter",
+    "EXCL",
+    "FilterCache",
+    "InsertionReport",
+    "LPD",
+    "NP",
+    "PREF",
+    "PREFETCH_STRATEGIES",
+    "PWS",
+    "PrefetchStrategy",
+    "find_write_shared_blocks",
+    "insert_prefetches",
+    "strategy_by_name",
+]

@@ -1,0 +1,65 @@
+"""The uniprocessor filter cache used to identify prefetch candidates.
+
+"The candidates for prefetching are identified by running each
+processor's address stream through a uniprocessor cache filter and
+marking the data misses" (section 3.1).  The filter has the same
+geometry as the simulated cache but no coherence: it predicts exactly
+the *non-sharing* misses (cold, capacity, conflict), which is why the
+oracle cannot cover invalidation misses.
+"""
+
+from __future__ import annotations
+
+from repro.common.config import CacheConfig
+
+__all__ = ["FilterCache"]
+
+
+class FilterCache:
+    """A tags-only cache simulator for miss prediction.
+
+    Args:
+        config: geometry to mirror (size, block size, associativity).
+            The victim-cache option is ignored: the paper's filter is the
+            plain cache.
+    """
+
+    def __init__(self, config: CacheConfig) -> None:
+        self._block_size = config.block_size
+        self._num_sets = config.num_sets
+        self._assoc = config.associativity
+        self._block_shift = config.block_size.bit_length() - 1
+        self._set_mask = self._num_sets - 1
+        # sets[i] is a list of tags, most recently used last.
+        self._sets: list[list[int]] = [[] for _ in range(self._num_sets)]
+        self.accesses = 0
+        self.misses = 0
+
+    def block_of(self, addr: int) -> int:
+        """Block address containing ``addr``."""
+        return addr & ~(self._block_size - 1)
+
+    def access(self, addr: int) -> bool:
+        """Reference ``addr``; returns True on a hit.
+
+        Misses allocate (copy-back caches allocate on both read and
+        write misses); replacement is LRU within the set.
+        """
+        self.accesses += 1
+        block = self.block_of(addr)
+        ways = self._sets[(block >> self._block_shift) & self._set_mask]
+        try:
+            ways.remove(block)
+        except ValueError:
+            self.misses += 1
+            if len(ways) >= self._assoc:
+                ways.pop(0)
+            ways.append(block)
+            return False
+        ways.append(block)
+        return True
+
+    @property
+    def miss_rate(self) -> float:
+        """Miss fraction over all accesses so far."""
+        return self.misses / self.accesses if self.accesses else 0.0

@@ -1,0 +1,207 @@
+"""Off-line prefetch insertion into traces (the paper's section 3.1).
+
+The pass consumes a *clean* (NP) :class:`~repro.trace.stream.MultiTrace`
+and produces a new trace with :class:`~repro.trace.events.Prefetch`
+events inserted and target references marked ``prefetched``; the input
+trace is never mutated, so one workload generation serves every
+strategy.
+
+Placement: the candidate reference's position on an *estimated* cycle
+timeline (one cycle per instruction plus one per access, all hits --
+the compile-time view) is computed, and the prefetch is inserted before
+the earliest event whose estimated time is within ``distance`` cycles of
+the target access.  This mirrors the paper's "estimated number of CPU
+cycles between the prefetch and the actual access".
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass, field
+
+from repro.common.config import CacheConfig
+from repro.prefetch.filter import FilterCache
+from repro.prefetch.strategies import PrefetchStrategy
+from repro.prefetch.wsfilter import AssociativeFilter, find_write_shared_blocks
+from repro.trace.events import Barrier, LockAcquire, LockRelease, MemRef, Prefetch, TraceEvent
+from repro.trace.stream import CpuTrace, MultiTrace
+
+__all__ = [
+    "InsertionReport",
+    "estimate_access_times",
+    "insert_prefetches",
+    "place_prefetches",
+]
+
+
+@dataclass
+class InsertionReport:
+    """What the insertion pass did, per strategy application.
+
+    Attributes:
+        strategy: the strategy name.
+        candidates: references identified as filter-cache misses.
+        ws_extras: additional PWS candidates from the write-shared filter.
+        inserted: prefetch instructions actually inserted.
+        exclusive: prefetches marked exclusive-mode.
+        per_cpu_inserted: insertion counts by CPU.
+    """
+
+    strategy: str
+    candidates: int = 0
+    ws_extras: int = 0
+    inserted: int = 0
+    exclusive: int = 0
+    per_cpu_inserted: list[int] = field(default_factory=list)
+
+
+def _copy_event(event: TraceEvent) -> TraceEvent:
+    if type(event) is MemRef:
+        clone = MemRef(event.addr, event.is_write, event.gap, event.size, event.shared)
+        clone.prefetched = event.prefetched
+        return clone
+    if type(event) is Prefetch:
+        return Prefetch(event.addr, event.exclusive, event.gap)
+    if isinstance(event, LockAcquire):
+        return LockAcquire(event.lock_id, event.addr, event.gap)
+    if isinstance(event, LockRelease):
+        return LockRelease(event.lock_id, event.addr, event.gap)
+    if isinstance(event, Barrier):
+        return Barrier(event.barrier_id, event.addr, event.gap)
+    raise TypeError(f"cannot copy event of type {type(event).__name__}")
+
+
+def insert_prefetches(
+    trace: MultiTrace,
+    strategy: PrefetchStrategy,
+    cache_config: CacheConfig,
+) -> tuple[MultiTrace, InsertionReport]:
+    """Apply ``strategy`` to ``trace``; returns ``(new_trace, report)``.
+
+    For NP the trace is copied unchanged (so downstream code can mutate
+    runtime state without aliasing the input) and the report is empty.
+    """
+    report = InsertionReport(strategy=strategy.name)
+    if not strategy.enabled:
+        cpu_traces = [
+            CpuTrace(t.cpu, [_copy_event(e) for e in t.events]) for t in trace
+        ]
+        report.per_cpu_inserted = [0] * trace.num_cpus
+        return MultiTrace(trace.name, cpu_traces, metadata=dict(trace.metadata)), report
+
+    ws_blocks: set[int] = set()
+    if strategy.write_shared_extra:
+        ws_blocks = find_write_shared_blocks(trace, cache_config.block_size)
+
+    new_cpu_traces: list[CpuTrace] = []
+    for cpu_trace in trace:
+        events = [_copy_event(e) for e in cpu_trace.events]
+        new_cpu_traces.append(
+            _insert_for_cpu(cpu_trace.cpu, events, strategy, cache_config, ws_blocks, report)
+        )
+    new_trace = MultiTrace(trace.name, new_cpu_traces, metadata=dict(trace.metadata))
+    return new_trace, report
+
+
+def _insert_for_cpu(
+    cpu: int,
+    events: list[TraceEvent],
+    strategy: PrefetchStrategy,
+    cache_config: CacheConfig,
+    ws_blocks: set[int],
+    report: InsertionReport,
+) -> CpuTrace:
+    # Estimated access-start time of each event on the all-hits timeline.
+    est_access = estimate_access_times(events)
+
+    # Oracle candidates: uniprocessor filter-cache misses over demand refs.
+    filter_cache = FilterCache(cache_config)
+    candidates: dict[int, bool] = {}  # event index -> exclusive mode
+    ws_filter = AssociativeFilter(strategy.ws_filter_lines, cache_config.block_size)
+    block_mask = ~(cache_config.block_size - 1)
+
+    for index, event in enumerate(events):
+        if type(event) is not MemRef:
+            continue
+        hit = filter_cache.access(event.addr)
+        exclusive = strategy.exclusive_writes and event.is_write
+        if not hit:
+            # A non-snooping prefetch buffer (private_only) cannot hold
+            # shared data safely, so shared misses go uncovered.
+            if not (strategy.private_only and event.shared):
+                candidates[index] = exclusive
+                report.candidates += 1
+        if strategy.write_shared_extra and (event.addr & block_mask) in ws_blocks:
+            ws_hit = ws_filter.access(event.addr)
+            if not ws_hit and index not in candidates:
+                # Redundant (uniprocessor-sense) prefetch of a write-shared
+                # line with poor temporal locality.  Never exclusive: PWS
+                # differs from PREF only in *which* lines it prefetches.
+                candidates[index] = False
+                report.ws_extras += 1
+
+    merged, inserted, exclusive = place_prefetches(
+        events, candidates, strategy.distance, est_access
+    )
+    report.inserted += inserted
+    report.exclusive += exclusive
+
+    while len(report.per_cpu_inserted) <= cpu:
+        report.per_cpu_inserted.append(0)
+    report.per_cpu_inserted[cpu] = inserted
+    return CpuTrace(cpu, merged)
+
+
+def estimate_access_times(events: list[TraceEvent]) -> list[int]:
+    """Access-start times on the all-hits compile-time timeline."""
+    est: list[int] = []
+    clock = 0
+    for event in events:
+        est.append(clock + event.gap)
+        clock += event.gap + 1
+    return est
+
+
+def place_prefetches(
+    events: list[TraceEvent],
+    candidates: dict[int, bool],
+    distance: int,
+    est_access: list[int] | None = None,
+) -> tuple[list[TraceEvent], int, int]:
+    """Insert prefetches ``distance`` estimated cycles before targets.
+
+    ``candidates`` maps target event index -> exclusive mode.  Target
+    references are marked ``prefetched`` in place.  Returns the merged
+    event list and the (inserted, exclusive) counts.  Shared by the
+    compiler-emulation pass and the perfect-knowledge oracle
+    (:mod:`repro.prefetch.oracle`).
+    """
+    if est_access is None:
+        est_access = estimate_access_times(events)
+    inserts_before: dict[int, list[Prefetch]] = {}
+    inserted = 0
+    exclusive_count = 0
+    for index in sorted(candidates):
+        target = events[index]
+        assert type(target) is MemRef
+        insert_cycle = est_access[index] - distance
+        position = bisect_left(est_access, insert_cycle)
+        if position > index:
+            position = index
+        prefetch = Prefetch(target.addr, exclusive=candidates[index], gap=0)
+        inserts_before.setdefault(position, []).append(prefetch)
+        target.prefetched = True
+        inserted += 1
+        if candidates[index]:
+            exclusive_count += 1
+
+    merged: list[TraceEvent] = []
+    for index, event in enumerate(events):
+        pending = inserts_before.get(index)
+        if pending:
+            merged.extend(pending)
+        merged.append(event)
+    tail = inserts_before.get(len(events))
+    if tail:
+        merged.extend(tail)
+    return merged, inserted, exclusive_count

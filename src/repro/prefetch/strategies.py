@@ -1,0 +1,111 @@
+"""The five prefetching strategies of section 4.1."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+
+__all__ = [
+    "ALL_STRATEGIES",
+    "EXCL",
+    "LPD",
+    "NP",
+    "PBUF",
+    "PREF",
+    "PREFETCH_STRATEGIES",
+    "PWS",
+    "PrefetchStrategy",
+    "strategy_by_name",
+]
+
+
+@dataclass(frozen=True)
+class PrefetchStrategy:
+    """A compiler-prefetching discipline applied to traces.
+
+    Each non-NP strategy "differs in only a single characteristic from
+    PREF" (section 4.1), which the fields below encode.
+
+    Attributes:
+        name: the paper's label (NP / PREF / EXCL / LPD / PWS).
+        enabled: False only for NP.
+        distance: prefetch distance in estimated CPU cycles between the
+            prefetch instruction and the covered access.
+        exclusive_writes: prefetch expected write misses in exclusive
+            mode (EXCL).
+        write_shared_extra: add redundant prefetches for write-shared
+            data chosen by the temporal-locality filter (PWS).
+        ws_filter_lines: associativity of the PWS filter (16 in the
+            paper).
+        private_only: prefetch only non-shared data.  Emulates the
+            *prefetch buffer* architecture section 3.1 rejects:
+            "prefetch buffers typically don't snoop on the bus;
+            therefore, no shared data can be prefetched".
+    """
+
+    name: str
+    enabled: bool = True
+    distance: int = 100
+    exclusive_writes: bool = False
+    write_shared_extra: bool = False
+    ws_filter_lines: int = 16
+    private_only: bool = False
+
+    def __post_init__(self) -> None:
+        if self.enabled and self.distance < 1:
+            raise ConfigurationError("prefetch distance must be >= 1")
+        if self.ws_filter_lines < 1:
+            raise ConfigurationError("ws_filter_lines must be >= 1")
+
+    def with_distance(self, distance: int) -> "PrefetchStrategy":
+        """A copy with a different prefetch distance (ablation sweeps)."""
+        return PrefetchStrategy(
+            name=f"{self.name}(d={distance})",
+            enabled=self.enabled,
+            distance=distance,
+            exclusive_writes=self.exclusive_writes,
+            write_shared_extra=self.write_shared_extra,
+            ws_filter_lines=self.ws_filter_lines,
+            private_only=self.private_only,
+        )
+
+
+#: No prefetching; the baseline every execution time is reported against.
+NP = PrefetchStrategy("NP", enabled=False)
+
+#: The basic oracle prefetcher: filter-cache misses, distance 100.
+PREF = PrefetchStrategy("PREF")
+
+#: PREF, with expected write misses fetched in exclusive mode.
+EXCL = PrefetchStrategy("EXCL", exclusive_writes=True)
+
+#: PREF with a long (400-cycle) prefetch distance.
+LPD = PrefetchStrategy("LPD", distance=400)
+
+#: PREF plus aggressive redundant prefetching of write-shared data.
+PWS = PrefetchStrategy("PWS", write_shared_extra=True)
+
+#: The non-snooping prefetch-buffer architecture of section 3.1: only
+#: non-shared data may be prefetched.  Not part of the paper's five
+#: disciplines; used by the prefetch-buffer ablation to show why the
+#: paper's prefetchers are cache-based.
+PBUF = PrefetchStrategy("PBUF", private_only=True)
+
+#: All five disciplines, in the paper's presentation order.
+ALL_STRATEGIES: tuple[PrefetchStrategy, ...] = (NP, PREF, EXCL, LPD, PWS)
+
+#: The four actual prefetching disciplines (everything but NP).
+PREFETCH_STRATEGIES: tuple[PrefetchStrategy, ...] = (PREF, EXCL, LPD, PWS)
+
+_BY_NAME = {s.name: s for s in ALL_STRATEGIES + (PBUF,)}
+
+
+def strategy_by_name(name: str) -> PrefetchStrategy:
+    """Look up one of the five canonical strategies by paper label."""
+    try:
+        return _BY_NAME[name.upper()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown strategy {name!r}; expected one of {sorted(_BY_NAME)}"
+        ) from None

@@ -1,0 +1,74 @@
+"""Write-shared data identification and the PWS temporal-locality filter.
+
+PWS ("prefetch write-shared data more aggressively", section 4.1) adds
+*redundant* prefetches -- redundant in the uniprocessor sense, for data
+that would still be cached were it not for invalidations.  The heuristic:
+the longer a write-shared line has gone unreferenced, the more likely it
+has been invalidated.  The paper emulates it by running each CPU's
+write-shared references through a 16-line fully-associative cache filter
+and prefetching its misses, *in addition to* the PREF candidates.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.trace.events import MemRef
+from repro.trace.stream import MultiTrace
+
+__all__ = ["AssociativeFilter", "find_write_shared_blocks"]
+
+
+class AssociativeFilter:
+    """A small fully-associative LRU filter (default 16 lines).
+
+    A *miss* in this filter means the line has poor temporal locality in
+    the recent window -- exactly the lines PWS considers likely to have
+    been invalidated since their last use.
+    """
+
+    def __init__(self, capacity: int = 16, block_size: int = 32) -> None:
+        self.capacity = capacity
+        self._block_mask = ~(block_size - 1)
+        self._lines: OrderedDict[int, None] = OrderedDict()
+        self.accesses = 0
+        self.misses = 0
+
+    def access(self, addr: int) -> bool:
+        """Reference ``addr``; returns True on a hit."""
+        self.accesses += 1
+        block = addr & self._block_mask
+        if block in self._lines:
+            self._lines.move_to_end(block)
+            return True
+        self.misses += 1
+        if len(self._lines) >= self.capacity:
+            self._lines.popitem(last=False)
+        self._lines[block] = None
+        return False
+
+
+def find_write_shared_blocks(trace: MultiTrace, block_size: int = 32) -> set[int]:
+    """Blocks accessed by more than one CPU and written by at least one.
+
+    This is the compile-time "known to be write-shared" set the PWS
+    heuristic targets.  Using whole-trace knowledge matches the paper's
+    off-line emulation (an actual compiler would approximate it with
+    sharing analysis).
+    """
+    mask = ~(block_size - 1)
+    cpus_by_block: dict[int, int] = {}
+    written: set[int] = set()
+    for cpu_trace in trace:
+        bit = 1 << cpu_trace.cpu
+        for event in cpu_trace:
+            if type(event) is MemRef:
+                block = event.addr & mask
+                cpus_by_block[block] = cpus_by_block.get(block, 0) | bit
+                if event.is_write:
+                    written.add(block)
+    return {
+        block
+        for block, cpu_bits in cpus_by_block.items()
+        if block in written and (cpu_bits & (cpu_bits - 1))  # >= 2 CPUs
+    }

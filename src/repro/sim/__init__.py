@@ -1,0 +1,21 @@
+"""The multiprocessor simulation engine (our re-implementation of Charlie).
+
+:func:`~repro.sim.engine.simulate` runs one annotated
+:class:`~repro.trace.stream.MultiTrace` on one
+:class:`~repro.common.config.MachineConfig` and returns
+:class:`~repro.metrics.results.RunMetrics`.  The engine is event-driven:
+CPU steps, bus arbitration decisions and fill completions are processed
+in global time order off a single heap, which is what makes the snoop /
+access interleaving (and therefore the invalidation-miss accounting)
+causally consistent.
+
+Like Charlie, the engine enforces *legal interleavings* of the traced
+synchronization: processors vie for locks and may acquire them in a
+different order than the traced run, but each lock is held by one CPU at
+a time and barriers gate all CPUs.
+"""
+
+from repro.sim.engine import SimulationEngine, simulate
+from repro.sim.sync import BarrierManager, LockManager
+
+__all__ = ["BarrierManager", "LockManager", "SimulationEngine", "simulate"]

@@ -1,0 +1,578 @@
+"""The event-driven multiprocessor simulation engine.
+
+The engine processes three kinds of events in global time order off a
+single heap:
+
+* **CPU steps** -- a processor dispatches its next trace event, or
+  re-attempts the access it was stalled on;
+* **bus arbitration** -- the bus grants one eligible transaction
+  (round-robin, demand priority), at which point snoops are applied to
+  every other cache (and to granted in-flight fills, which get poisoned
+  by remote invalidations);
+* **fill completions** -- data arrives, the block is installed, dirty
+  victims are queued for write-back, and stalled CPUs resume.
+
+Timing model (paper section 3.3): one cycle per instruction plus one per
+data access on hits; a miss costs the unloaded 100-cycle latency, of
+which only the data-transfer slice occupies the contended bus, plus any
+queuing delay.  Demand misses block the CPU; prefetches proceed through
+the 16-deep lockup-free prefetch buffer.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+
+from repro.bus.bus import Bus
+from repro.bus.transaction import BusTransaction, TransactionKind
+from repro.cache.coherent import CoherentCache
+from repro.cache.mshr import MissStatusRegisters
+from repro.coherence.protocol import BusOp, IllinoisProtocol, LineState, MSIProtocol
+from repro.common.addressing import word_mask_for
+from repro.common.config import MachineConfig, SimulationConfig
+from repro.common.errors import SimulationError
+from repro.metrics.results import RunMetrics
+from repro.sim.processor import CpuStatus, Processor
+from repro.sim.sync import BarrierManager, LockManager
+from repro.trace.events import Barrier, LockAcquire, LockRelease, MemRef, Prefetch
+from repro.trace.stream import MultiTrace
+
+__all__ = ["SimulationEngine", "simulate"]
+
+# Event kinds on the heap (ordering within a timestamp is by push sequence).
+_EV_CPU = 0
+_EV_ARB = 1
+_EV_FILLDONE = 2
+
+#: Extra cycles charged for swapping a line in from the victim cache.
+_VICTIM_SWAP_CYCLES = 1
+
+
+def simulate(
+    trace: MultiTrace,
+    machine: MachineConfig,
+    strategy_name: str = "NP",
+    sim_config: SimulationConfig | None = None,
+) -> RunMetrics:
+    """Run ``trace`` on ``machine`` and return the collected metrics.
+
+    ``strategy_name`` is a label stored in the result (the trace itself
+    already carries the inserted prefetches).
+    """
+    engine = SimulationEngine(trace, machine, sim_config or SimulationConfig())
+    engine.run()
+    return engine.collect_metrics(strategy_name)
+
+
+class SimulationEngine:
+    """One simulation run's mutable state.  See module docstring."""
+
+    def __init__(
+        self, trace: MultiTrace, machine: MachineConfig, sim_config: SimulationConfig
+    ) -> None:
+        if trace.num_cpus != machine.num_cpus:
+            raise SimulationError(
+                f"trace has {trace.num_cpus} CPUs but the machine has {machine.num_cpus}"
+            )
+        self.trace = trace
+        self.machine = machine
+        self.sim_config = sim_config
+        self.protocol = MSIProtocol() if machine.protocol == "msi" else IllinoisProtocol()
+        self.bus = Bus(machine.bus, machine.num_cpus)
+        self.locks = LockManager()
+        self.barriers = BarrierManager(machine.num_cpus)
+
+        self.procs: list[Processor] = []
+        for cpu_trace in trace:
+            cache = CoherentCache(machine.cache, self.protocol, cpu_trace.cpu)
+            mshr = MissStatusRegisters(machine.prefetch.buffer_depth)
+            self.procs.append(Processor(cpu_trace.cpu, cpu_trace.events, cache, mshr))
+
+        self._heap: list[tuple[int, int, int, int, int]] = []
+        self._seq = 0
+        self._arb_time: int | None = None
+        self._pfbuf_waiters: list[int] = []
+        self._done_count = 0
+        self.now = 0
+        #: (cpu, event-index) of every classified demand miss, recorded
+        #: when sim_config.record_miss_indices is set (oracle support).
+        self.miss_indices: list[tuple[int, int]] = []
+        self._record_misses = sim_config.record_miss_indices
+        self._block_mask = ~(machine.cache.block_size - 1)
+        self._block_size = machine.cache.block_size
+        self._issue_cost = machine.prefetch.issue_cost
+
+    # ------------------------------------------------------------- main loop
+
+    def run(self) -> None:
+        """Execute the whole trace; raises on deadlock or runaway clocks."""
+        for proc in self.procs:
+            self._push(_EV_CPU, 0, proc.cpu, 0)
+            proc.scheduled = True
+
+        heap = self._heap
+        max_cycles = self.sim_config.max_cycles
+        while heap:
+            time, _, kind, a, b = heappop(heap)
+            if time > max_cycles:
+                raise SimulationError(
+                    f"simulated clock exceeded max_cycles={max_cycles}; likely a deadlock bug"
+                )
+            self.now = time
+            if kind == _EV_CPU:
+                self.procs[a].scheduled = False
+                self._cpu_tick(self.procs[a], time)
+            elif kind == _EV_ARB:
+                self._arb_tick(time)
+            else:  # _EV_FILLDONE
+                self._fill_done(self.procs[a], b, time)
+
+        if self._done_count != len(self.procs):
+            states = {p.cpu: p.status.name for p in self.procs if not p.done}
+            raise SimulationError(f"simulation deadlocked; waiting CPUs: {states}")
+
+    def collect_metrics(self, strategy_name: str) -> RunMetrics:
+        """Assemble the :class:`RunMetrics` after :meth:`run` finished."""
+        exec_cycles = max(
+            max((p.metrics.finish_time for p in self.procs), default=0), self.bus.free_at
+        )
+        for proc in self.procs:
+            m = proc.metrics
+            m.stall_cycles = max(
+                0, m.finish_time - m.busy_cycles - m.sync_wait_cycles
+            )
+        return RunMetrics(
+            workload=self.trace.name,
+            strategy=strategy_name,
+            machine=self.machine.describe(),
+            exec_cycles=exec_cycles,
+            per_cpu=[p.metrics for p in self.procs],
+            bus=self.bus.stats,
+        )
+
+    # ------------------------------------------------------------ heap utils
+
+    def _push(self, kind: int, time: int, a: int, b: int) -> None:
+        self._seq += 1
+        heappush(self._heap, (time, self._seq, kind, a, b))
+
+    def _schedule_cpu(self, proc: Processor, time: int) -> None:
+        if proc.scheduled:
+            raise SimulationError(f"cpu {proc.cpu} double-scheduled")
+        proc.scheduled = True
+        proc.status = CpuStatus.RUNNING
+        self._push(_EV_CPU, time, proc.cpu, 0)
+
+    def _schedule_arb(self) -> None:
+        t = self.bus.next_arbitration_time(self.now)
+        if t is None:
+            return
+        if self._arb_time is None or t < self._arb_time:
+            # At most one *live* arbitration event exists; an event made
+            # stale by this earlier one dies silently in _arb_tick
+            # (matched against _arb_time), so events cannot multiply.
+            self._arb_time = t
+            self._push(_EV_ARB, t, 0, 0)
+
+    # -------------------------------------------------------------- CPU side
+
+    def _cpu_tick(self, proc: Processor, now: int) -> None:
+        if proc.in_access:
+            self._try_access(proc, now)
+            return
+        self._dispatch(proc, now)
+
+    def _dispatch(self, proc: Processor, now: int) -> None:
+        events = proc.events
+        if proc.pc >= len(events):
+            proc.status = CpuStatus.DONE
+            proc.metrics.finish_time = now
+            self._done_count += 1
+            return
+        event = events[proc.pc]
+
+        if not proc.gap_done and event.gap > 0:
+            proc.gap_done = True
+            proc.metrics.busy_cycles += event.gap
+            self._schedule_cpu(proc, now + event.gap)
+            return
+        proc.gap_done = True  # gap (possibly zero) consumed
+
+        etype = type(event)
+        if etype is MemRef:
+            proc.begin_access(
+                addr=event.addr,
+                block=event.addr & self._block_mask,
+                is_write=event.is_write,
+                word_mask=word_mask_for(event.addr, event.size, self._block_size),
+                cont="retire",
+                now=now,
+                sync=False,
+                shared=event.shared,
+                prefetched=event.prefetched,
+            )
+            self._try_access(proc, now)
+        elif etype is Prefetch:
+            self._dispatch_prefetch(proc, event, now)
+        elif etype is LockAcquire:
+            if self.locks.try_acquire(event.lock_id, proc.cpu):
+                proc.begin_access(
+                    addr=event.addr,
+                    block=event.addr & self._block_mask,
+                    is_write=True,
+                    word_mask=word_mask_for(event.addr, 4, self._block_size),
+                    cont="retire",
+                    now=now,
+                    sync=True,
+                )
+                self._try_access(proc, now)
+            else:
+                self.locks.enqueue_waiter(event.lock_id, proc.cpu)
+                proc.status = CpuStatus.BLOCKED_LOCK
+                proc.block_started = now
+        elif etype is LockRelease:
+            proc.begin_access(
+                addr=event.addr,
+                block=event.addr & self._block_mask,
+                is_write=True,
+                word_mask=word_mask_for(event.addr, 4, self._block_size),
+                cont="release",
+                now=now,
+                sync=True,
+                lock_id=event.lock_id,
+            )
+            self._try_access(proc, now)
+        elif etype is Barrier:
+            proc.begin_access(
+                addr=event.addr,
+                block=event.addr & self._block_mask,
+                is_write=True,
+                word_mask=word_mask_for(event.addr, 4, self._block_size),
+                cont="barrier",
+                now=now,
+                sync=True,
+                lock_id=event.barrier_id,
+            )
+            self._try_access(proc, now)
+        else:  # pragma: no cover - trace validation prevents this
+            raise SimulationError(f"cpu {proc.cpu}: unknown event type {etype.__name__}")
+
+    def _dispatch_prefetch(self, proc: Processor, event: Prefetch, now: int) -> None:
+        block = event.addr & self._block_mask
+        metrics = proc.metrics
+        if proc.mshr.lookup(block) is not None:
+            # A fill for this block is already in flight; squash.
+            metrics.prefetches_issued += 1
+            metrics.prefetch_squashed += 1
+            metrics.busy_cycles += self._issue_cost
+            self._retire(proc, now + self._issue_cost)
+            return
+        if proc.cache.lookup_prefetch(block):
+            metrics.prefetches_issued += 1
+            metrics.prefetch_hits += 1
+            metrics.busy_cycles += self._issue_cost
+            self._retire(proc, now + self._issue_cost)
+            return
+        if proc.mshr.prefetch_buffer_full:
+            metrics.prefetch_buffer_stalls += 1
+            proc.status = CpuStatus.STALLED_PFBUF
+            self._pfbuf_waiters.append(proc.cpu)
+            return
+        metrics.prefetches_issued += 1
+        metrics.prefetch_fills += 1
+        metrics.busy_cycles += self._issue_cost
+        intended = word_mask_for(event.addr, 4, self._block_size)
+        proc.mshr.start(block, is_prefetch=True, exclusive=event.exclusive, intended_word_mask=intended)
+        txn = self.bus.make_fill(
+            proc.cpu,
+            block,
+            exclusive=event.exclusive,
+            is_demand=False,
+            now=now,
+            word_mask=intended if event.exclusive else 0,
+        )
+        self.bus.request(txn)
+        self._schedule_arb()
+        self._retire(proc, now + self._issue_cost)
+
+    def _retire(self, proc: Processor, time: int) -> None:
+        """Advance past the current event and schedule the next step."""
+        proc.pc += 1
+        proc.gap_done = False
+        self._schedule_cpu(proc, time)
+
+    # ---------------------------------------------------------- access logic
+
+    def _try_access(self, proc: Processor, now: int) -> None:
+        """Attempt the processor's current access at time ``now``.
+
+        Either completes it (running the continuation) or leaves the CPU
+        stalled on a fill / upgrade; stalled accesses are re-attempted
+        when the engine wakes the CPU.
+        """
+        block = proc.acc_block
+        metrics = proc.metrics
+
+        in_flight = proc.mshr.lookup(block)
+        if in_flight is not None:
+            if not proc.acc_counted:
+                proc.acc_counted = True
+                if proc.acc_sync:
+                    metrics.sync_misses += 1
+                elif in_flight.is_prefetch:
+                    metrics.misses.prefetch_in_progress += 1
+                # else: merging with our own demand fill cannot happen --
+                # demand accesses are serialized per CPU.
+            proc.status = CpuStatus.STALLED_FILL
+            proc.waiting_block = block
+            proc.acc_missed = True
+            return
+
+        result = proc.cache.lookup_demand(block, proc.acc_word_mask, now)
+        if result.writeback is not None:
+            metrics.writebacks += 1
+            wb = self.bus.make_writeback(proc.cpu, result.writeback.block, now)
+            self.bus.request(wb)
+            self._schedule_arb()
+        if result.hit:
+            if result.victim_hit:
+                metrics.victim_hits += 1
+            state = proc.cache.state_of(block)
+            if proc.acc_write and self.protocol.write_hit_needs_upgrade(state):
+                metrics.upgrades += 1
+                txn = self.bus.make_upgrade(proc.cpu, block, now, proc.acc_word_mask)
+                self.bus.request(txn)
+                self._schedule_arb()
+                proc.status = CpuStatus.STALLED_UPGRADE
+                proc.waiting_block = block
+                proc.acc_missed = True
+                return
+            if proc.acc_write:
+                proc.cache.set_state(block, LineState.MODIFIED)
+                if not proc.acc_sync:
+                    self._note_remote_write(proc, block)
+            proc.cache.record_access(block, proc.acc_word_mask, now)
+            cost = 1 + (_VICTIM_SWAP_CYCLES if result.victim_hit else 0)
+            metrics.busy_cycles += cost
+            self._complete_access(proc, now + cost)
+            return
+
+        # Miss: classify (once per access), then fetch.
+        if not proc.acc_counted:
+            proc.acc_counted = True
+            self._classify_miss(proc, result.invalidation_miss, result.false_sharing)
+        proc.mshr.start(
+            block,
+            is_prefetch=False,
+            exclusive=proc.acc_write,
+            intended_word_mask=proc.acc_word_mask,
+        )
+        txn = self.bus.make_fill(
+            proc.cpu,
+            block,
+            exclusive=proc.acc_write,
+            is_demand=True,
+            now=now,
+            word_mask=proc.acc_word_mask if proc.acc_write else 0,
+        )
+        self.bus.request(txn)
+        self._schedule_arb()
+        proc.status = CpuStatus.STALLED_FILL
+        proc.waiting_block = block
+        proc.acc_missed = True
+
+    def _classify_miss(self, proc: Processor, invalidation: bool, false_sharing: bool) -> None:
+        metrics = proc.metrics
+        if proc.acc_sync:
+            metrics.sync_misses += 1
+            return
+        if self._record_misses:
+            self.miss_indices.append((proc.cpu, proc.pc))
+        m = metrics.misses
+        prefetched = proc.acc_prefetched
+        if invalidation:
+            if false_sharing:
+                if prefetched:
+                    m.inval_false_prefetched += 1
+                else:
+                    m.inval_false_unprefetched += 1
+            else:
+                if prefetched:
+                    m.inval_true_prefetched += 1
+                else:
+                    m.inval_true_unprefetched += 1
+        else:
+            if prefetched:
+                m.nonsharing_prefetched += 1
+            else:
+                m.nonsharing_unprefetched += 1
+
+    def _complete_access(self, proc: Processor, time: int) -> None:
+        """Run the access continuation at ``time`` and step the CPU."""
+        cont = proc.acc_cont
+        metrics = proc.metrics
+        if proc.acc_sync:
+            metrics.sync_refs += 1
+        else:
+            metrics.demand_refs += 1
+            if proc.acc_missed:
+                # Everything beyond the one-cycle hit access is time the
+                # CPU waited on the memory subsystem for this miss.
+                metrics.miss_wait_cycles += max(0, time - proc.acc_start - 1)
+        if cont == "retire":
+            proc.end_access()
+            self._retire(proc, time)
+        elif cont == "release":
+            lock_id = proc.acc_lock_id
+            proc.end_access()
+            waiter = self.locks.release(lock_id, proc.cpu)
+            if waiter is not None:
+                wproc = self.procs[waiter]
+                wproc.metrics.sync_wait_cycles += time - wproc.block_started
+                self._schedule_cpu(wproc, time)
+            self._retire(proc, time)
+        elif cont == "barrier":
+            barrier_id = proc.acc_lock_id
+            proc.end_access()
+            woken = self.barriers.arrive(barrier_id, proc.cpu)
+            if woken is None:
+                proc.pc += 1
+                proc.gap_done = False
+                proc.status = CpuStatus.BLOCKED_BARRIER
+                proc.block_started = time
+                self.barriers.block(barrier_id, proc.cpu)
+            else:
+                for cpu in woken:
+                    wproc = self.procs[cpu]
+                    wproc.metrics.sync_wait_cycles += time - wproc.block_started
+                    self._schedule_cpu(wproc, time)
+                self._retire(proc, time)
+        else:  # pragma: no cover
+            raise SimulationError(f"unknown access continuation {cont!r}")
+
+    # --------------------------------------------------------------- bus side
+
+    def _arb_tick(self, now: int) -> None:
+        if self._arb_time != now:
+            return  # stale event superseded by an earlier reschedule
+        self._arb_time = None
+        txn = self.bus.arbitrate(now)
+        if txn is not None:
+            kind = txn.kind
+            if kind is TransactionKind.UPGRADE:
+                self._grant_upgrade(txn, now)
+            elif kind is TransactionKind.WRITEBACK:
+                pass  # occupancy accounted by the bus; no coherence effects
+            else:
+                self._grant_fill(txn, now)
+        self._schedule_arb()
+
+    def _grant_fill(self, txn: BusTransaction, now: int) -> None:
+        requester = self.procs[txn.cpu]
+        fill = requester.mshr.lookup(txn.block)
+        if fill is None:  # pragma: no cover - engine invariant
+            raise SimulationError(f"granted fill with no MSHR entry: {txn!r}")
+        fill.granted = True
+        fill.completion_time = txn.completion_time
+
+        exclusive = txn.kind is TransactionKind.FILL_EX
+        op = BusOp.READ_EX if exclusive else BusOp.READ
+        others_have = False
+        for proc in self.procs:
+            if proc.cpu == txn.cpu:
+                continue
+            had, _supplied = proc.cache.snoop(txn.block, op, txn.word_mask)
+            if had:
+                others_have = True
+            remote_fill = proc.mshr.lookup(txn.block)
+            if remote_fill is not None and remote_fill.granted and not remote_fill.poisoned:
+                others_have = True
+                if exclusive:
+                    proc.mshr.snoop_invalidate(txn.block, txn.word_mask)
+                elif remote_fill.fill_state is LineState.PRIVATE:
+                    # Two concurrent read fills: both end up SHARED.
+                    remote_fill.fill_state = LineState.SHARED
+
+        if not exclusive:
+            fill.fill_state = self.protocol.fill_state(BusOp.READ, others_have)
+        elif fill.is_prefetch:
+            # Exclusive prefetch: the block arrives clean but exclusive
+            # (Illinois private state); the eventual write hits silently.
+            fill.fill_state = LineState.PRIVATE
+        else:
+            fill.fill_state = self.protocol.fill_state(BusOp.READ_EX, others_have)
+
+        self._push(_EV_FILLDONE, txn.completion_time, txn.cpu, txn.block)
+
+    def _grant_upgrade(self, txn: BusTransaction, now: int) -> None:
+        proc = self.procs[txn.cpu]
+        for other in self.procs:
+            if other.cpu == txn.cpu:
+                continue
+            other.cache.snoop(txn.block, BusOp.UPGRADE, txn.word_mask)
+            other.mshr.snoop_invalidate(txn.block, txn.word_mask)
+
+        if proc.status is not CpuStatus.STALLED_UPGRADE or proc.waiting_block != txn.block:
+            raise SimulationError(f"upgrade granted for cpu {txn.cpu} not waiting on it")
+
+        if proc.cache.state_of(txn.block).is_valid:
+            proc.cache.set_state(txn.block, LineState.MODIFIED)
+            if not proc.acc_sync:
+                self._note_remote_write(proc, txn.block)
+            proc.cache.record_access(txn.block, proc.acc_word_mask, now)
+            proc.metrics.busy_cycles += 1
+            proc.waiting_block = -1
+            proc.status = CpuStatus.RUNNING
+            self._complete_access(proc, txn.completion_time)
+        else:
+            # Raced: a remote invalidation beat the upgrade.  Re-attempt
+            # the access; it will classify as an invalidation miss and
+            # issue a full exclusive fill.
+            proc.waiting_block = -1
+            self._schedule_cpu(proc, txn.completion_time)
+
+    def _note_remote_write(self, writer: Processor, block: int) -> None:
+        """Report a completed demand write to every other cache's
+        false-sharing bookkeeping (trace-driven: even silent write hits
+        are visible to the classifier, as in Charlie)."""
+        mask = writer.acc_word_mask
+        for other in self.procs:
+            if other is not writer:
+                other.cache.note_remote_write(block, mask)
+
+    def _fill_done(self, proc: Processor, block: int, time: int) -> None:
+        fill = proc.mshr.finish(block)
+        if fill.poisoned:
+            writeback = proc.cache.install_poisoned(block, fill.poisoned_word_mask, time)
+        else:
+            writeback = proc.cache.fill(block, fill.fill_state, fill.is_prefetch, time)
+        if writeback is not None:
+            proc.metrics.writebacks += 1
+            wb = self.bus.make_writeback(proc.cpu, writeback.block, time)
+            self.bus.request(wb)
+            self._schedule_arb()
+
+        if fill.is_prefetch and self._pfbuf_waiters:
+            waiter = self._pfbuf_waiters.pop(0)
+            self._schedule_cpu(self.procs[waiter], time)
+
+        if proc.status is CpuStatus.STALLED_FILL and proc.waiting_block == block:
+            proc.waiting_block = -1
+            proc.status = CpuStatus.RUNNING
+            if fill.poisoned:
+                # The fill was invalidated in flight, but the stalled
+                # access still completes: hardware forwards the critical
+                # word to the CPU as the fill arrives.  The line itself
+                # stays INVALID in the cache.
+                proc.metrics.busy_cycles += 1
+                proc.cache.record_access(block, proc.acc_word_mask, time)
+                if proc.acc_write and not proc.acc_sync:
+                    self._note_remote_write(proc, block)
+                self._complete_access(proc, time + 1)
+            else:
+                # Complete the access *inline*, before any same-timestamp
+                # bus grant can snoop the just-installed line away.
+                # (Re-scheduling a CPU event here lets N CPUs contending
+                # for one hot line livelock: each fill is invalidated by
+                # the next CPU's grant before the owner's event runs.)
+                self._try_access(proc, time)

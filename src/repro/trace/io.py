@@ -1,0 +1,121 @@
+"""Trace serialization.
+
+Traces can be saved to and loaded from a compact line-oriented text format
+(gzip-compressed), so expensive workload generations can be reused across
+processes and inspected by external tools.  The format is one record per
+event::
+
+    M <cpu-unused> <addr-hex> <r|w> <gap> <size> <s|p>   demand reference
+    P <addr-hex> <x|s> <gap>                             prefetch
+    L <lock-id> <addr-hex> <gap>                         lock acquire
+    U <lock-id> <addr-hex> <gap>                         lock release
+    B <barrier-id> <addr-hex> <gap>                      barrier
+
+preceded per CPU by a ``C <cpu>`` header line and globally by a JSON
+metadata header line.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from pathlib import Path
+
+from repro.common.errors import TraceError
+from repro.trace.events import Barrier, LockAcquire, LockRelease, MemRef, Prefetch
+from repro.trace.stream import CpuTrace, MultiTrace
+
+__all__ = ["save_multitrace", "load_multitrace"]
+
+_FORMAT_VERSION = 1
+
+
+def save_multitrace(trace: MultiTrace, path: str | Path) -> None:
+    """Write ``trace`` to ``path`` in the gzip text format."""
+    path = Path(path)
+    header = {
+        "version": _FORMAT_VERSION,
+        "name": trace.name,
+        "num_cpus": trace.num_cpus,
+        "metadata": trace.metadata,
+    }
+    with gzip.open(path, "wt", encoding="utf-8") as fh:
+        fh.write(json.dumps(header) + "\n")
+        for cpu_trace in trace:
+            fh.write(f"C {cpu_trace.cpu}\n")
+            for event in cpu_trace:
+                fh.write(_encode_event(event))
+
+
+def _encode_event(event: object) -> str:
+    if type(event) is MemRef:
+        rw = "w" if event.is_write else "r"
+        sp = "s" if event.shared else "p"
+        mark = "1" if event.prefetched else "0"
+        return f"M {event.addr:x} {rw} {event.gap} {event.size} {sp} {mark}\n"
+    if type(event) is Prefetch:
+        mode = "x" if event.exclusive else "s"
+        return f"P {event.addr:x} {mode} {event.gap}\n"
+    if isinstance(event, LockAcquire):
+        return f"L {event.lock_id} {event.addr:x} {event.gap}\n"
+    if isinstance(event, LockRelease):
+        return f"U {event.lock_id} {event.addr:x} {event.gap}\n"
+    if isinstance(event, Barrier):
+        return f"B {event.barrier_id} {event.addr:x} {event.gap}\n"
+    raise TraceError(f"cannot serialise event of type {type(event).__name__}")
+
+
+def load_multitrace(path: str | Path) -> MultiTrace:
+    """Read a trace previously written by :func:`save_multitrace`."""
+    path = Path(path)
+    with gzip.open(path, "rt", encoding="utf-8") as fh:
+        header_line = fh.readline()
+        if not header_line:
+            raise TraceError(f"{path}: empty trace file")
+        header = json.loads(header_line)
+        if header.get("version") != _FORMAT_VERSION:
+            raise TraceError(f"{path}: unsupported trace format version {header.get('version')}")
+
+        cpu_traces: list[CpuTrace] = []
+        current: CpuTrace | None = None
+        for lineno, line in enumerate(fh, start=2):
+            parts = line.split()
+            if not parts:
+                continue
+            tag = parts[0]
+            try:
+                if tag == "C":
+                    current = CpuTrace(int(parts[1]))
+                    cpu_traces.append(current)
+                elif current is None:
+                    raise TraceError(f"{path}:{lineno}: event before any CPU header")
+                elif tag == "M":
+                    ref = MemRef(
+                        addr=int(parts[1], 16),
+                        is_write=parts[2] == "w",
+                        gap=int(parts[3]),
+                        size=int(parts[4]),
+                        shared=parts[5] == "s",
+                    )
+                    ref.prefetched = parts[6] == "1"
+                    current.append(ref)
+                elif tag == "P":
+                    current.append(
+                        Prefetch(addr=int(parts[1], 16), exclusive=parts[2] == "x", gap=int(parts[3]))
+                    )
+                elif tag == "L":
+                    current.append(LockAcquire(int(parts[1]), int(parts[2], 16), gap=int(parts[3])))
+                elif tag == "U":
+                    current.append(LockRelease(int(parts[1]), int(parts[2], 16), gap=int(parts[3])))
+                elif tag == "B":
+                    current.append(Barrier(int(parts[1]), int(parts[2], 16), gap=int(parts[3])))
+                else:
+                    raise TraceError(f"{path}:{lineno}: unknown record tag {tag!r}")
+            except (IndexError, ValueError) as exc:
+                raise TraceError(f"{path}:{lineno}: malformed record: {line!r}") from exc
+
+    if len(cpu_traces) != header["num_cpus"]:
+        raise TraceError(
+            f"{path}: header says {header['num_cpus']} CPUs but file contains {len(cpu_traces)}"
+        )
+    return MultiTrace(header["name"], cpu_traces, metadata=header.get("metadata") or {})

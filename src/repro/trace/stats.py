@@ -1,0 +1,119 @@
+"""Static (pre-simulation) trace statistics.
+
+These summarise a trace independently of any machine: reference counts,
+read/write mix, shared-data fraction, distinct-block footprints, and the
+synchronization profile.  The Table 1 experiment and the workload
+calibration tests are the main consumers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.addressing import block_address
+from repro.trace.events import Barrier, LockAcquire, MemRef, Prefetch
+from repro.trace.stream import MultiTrace
+
+__all__ = ["TraceStats", "compute_stats"]
+
+
+@dataclass
+class TraceStats:
+    """Aggregate statistics of a :class:`~repro.trace.stream.MultiTrace`.
+
+    Attributes:
+        name: workload name.
+        num_cpus: processor count.
+        total_refs: demand data references across all CPUs.
+        total_writes: demand stores across all CPUs.
+        shared_refs: references to shared data.
+        shared_writes: stores to shared data.
+        prefetches: prefetch instructions (0 before insertion).
+        lock_acquires: lock-acquire events.
+        barriers: barrier episodes (global barriers, counted once).
+        instruction_cycles: summed gaps (instruction-execution cycles).
+        footprint_blocks: distinct cache blocks touched anywhere.
+        shared_footprint_blocks: distinct shared blocks touched.
+        write_shared_blocks: distinct shared blocks written by at least
+            one CPU and accessed by more than one CPU (the PWS filter's
+            notion of write-shared data).
+        refs_per_cpu: demand references per CPU.
+    """
+
+    name: str
+    num_cpus: int
+    total_refs: int = 0
+    total_writes: int = 0
+    shared_refs: int = 0
+    shared_writes: int = 0
+    prefetches: int = 0
+    lock_acquires: int = 0
+    barriers: int = 0
+    instruction_cycles: int = 0
+    footprint_blocks: int = 0
+    shared_footprint_blocks: int = 0
+    write_shared_blocks: int = 0
+    refs_per_cpu: list[int] = field(default_factory=list)
+
+    @property
+    def write_fraction(self) -> float:
+        """Fraction of demand references that are stores."""
+        return self.total_writes / self.total_refs if self.total_refs else 0.0
+
+    @property
+    def shared_fraction(self) -> float:
+        """Fraction of demand references that touch shared data."""
+        return self.shared_refs / self.total_refs if self.total_refs else 0.0
+
+    @property
+    def footprint_bytes(self) -> int:
+        """Approximate data footprint in bytes (blocks x block size)."""
+        return self.footprint_blocks * self._block_size
+
+    _block_size: int = 32
+
+
+def compute_stats(trace: MultiTrace, block_size: int = 32) -> TraceStats:
+    """Compute :class:`TraceStats` for a trace at a given block size."""
+    stats = TraceStats(name=trace.name, num_cpus=trace.num_cpus)
+    stats._block_size = block_size
+
+    all_blocks: set[int] = set()
+    shared_blocks: set[int] = set()
+    block_writers: dict[int, int] = {}
+    block_cpus: dict[int, set[int]] = {}
+    barrier_ids: set[int] = set()
+
+    for cpu_trace in trace:
+        refs = 0
+        for event in cpu_trace:
+            stats.instruction_cycles += event.gap
+            if type(event) is MemRef:
+                refs += 1
+                blk = block_address(event.addr, block_size)
+                all_blocks.add(blk)
+                block_cpus.setdefault(blk, set()).add(cpu_trace.cpu)
+                if event.is_write:
+                    stats.total_writes += 1
+                if event.shared:
+                    stats.shared_refs += 1
+                    shared_blocks.add(blk)
+                    if event.is_write:
+                        stats.shared_writes += 1
+                        block_writers[blk] = block_writers.get(blk, 0) + 1
+            elif type(event) is Prefetch:
+                stats.prefetches += 1
+            elif isinstance(event, LockAcquire):
+                stats.lock_acquires += 1
+            elif isinstance(event, Barrier):
+                barrier_ids.add(event.barrier_id)
+        stats.total_refs += refs
+        stats.refs_per_cpu.append(refs)
+
+    stats.barriers = len(barrier_ids)
+    stats.footprint_blocks = len(all_blocks)
+    stats.shared_footprint_blocks = len(shared_blocks)
+    stats.write_shared_blocks = sum(
+        1 for blk in block_writers if len(block_cpus.get(blk, ())) > 1
+    )
+    return stats

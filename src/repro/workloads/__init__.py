@@ -1,0 +1,57 @@
+"""The five parallel workloads of the paper, as executable kernels.
+
+Each module implements a small, real parallel program (the same
+algorithmic skeleton as the paper's application) over an explicit
+:class:`~repro.layout.memory.MemoryLayout`, emitting per-CPU reference
+streams.  The paper traced the originals with MPTrace on a Sequent
+Symmetry; we substitute these kernels, sized so that working sets
+exceed the 32 KB cache where the originals' did (see DESIGN.md for the
+substitution argument).
+
+=============  ====================================================
+Topopt         topological optimization of VLSI circuits by parallel
+               simulated annealing -- heavy write sharing, many
+               conflict misses, small shared data set
+Pverify        boolean circuit equivalence checking -- high miss
+               rate, task queue, severe false sharing
+LocusRoute     commercial-quality standard-cell router -- shared
+               cost grid with geographic partitioning
+Mp3d           rarefied hypersonic particle flow -- very high miss
+               rate, heavily write-shared particle/cell state
+Water          liquid-water molecular dynamics -- low miss rate,
+               mostly-read sharing, high processor utilization
+=============  ====================================================
+
+``Topopt`` and ``Pverify`` support ``restructured=True``, applying the
+Jeremiassen–Eggers-style data-layout transformation (per-CPU grouping
+and cache-line padding of write-shared structures) that section 4.4
+evaluates.
+"""
+
+from repro.workloads.base import TraceBuilder, Workload, WorkloadParams
+from repro.workloads.registry import (
+    ALL_WORKLOAD_NAMES,
+    RESTRUCTURABLE_WORKLOAD_NAMES,
+    generate_workload,
+    get_workload,
+)
+from repro.workloads.topopt import Topopt
+from repro.workloads.pverify import Pverify
+from repro.workloads.locusroute import LocusRoute
+from repro.workloads.mp3d import Mp3d
+from repro.workloads.water import Water
+
+__all__ = [
+    "ALL_WORKLOAD_NAMES",
+    "LocusRoute",
+    "Mp3d",
+    "Pverify",
+    "RESTRUCTURABLE_WORKLOAD_NAMES",
+    "Topopt",
+    "TraceBuilder",
+    "Water",
+    "Workload",
+    "WorkloadParams",
+    "generate_workload",
+    "get_workload",
+]

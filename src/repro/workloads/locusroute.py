@@ -1,0 +1,162 @@
+"""LocusRoute: commercial-quality VLSI standard-cell routing (SPLASH).
+
+"LocusRoute is a commercial quality VLSI standard cell router."  In the
+paper it sits in the middle of the workload spectrum: moderate miss
+rate, processor utilization 0.64 (fast bus) to 0.54 (slow bus), and a
+mix of non-sharing and invalidation misses; like most of the workloads,
+over half of its invalidation misses are false sharing (the cost-grid
+words written by different CPUs share lines).
+
+Kernel structure: the routing cost grid is a shared 2-D array (one word
+per grid cell, row-major).  Each CPU routes wires whose endpoints lie
+in its geographic column band, which *overlaps* its neighbours' bands
+-- the overlap is where sharing happens:
+
+* for each wire, 2-3 candidate L-shaped routes are *evaluated* by
+  scanning the cost of the cells along each candidate (horizontal runs
+  read consecutive words -- excellent spatial locality; vertical runs
+  stride one row per line);
+* the best candidate's cells are then *written* (occupancy increment),
+  so the overlap columns get written by two CPUs -- invalidations,
+  false where the neighbour wrote cells of the line the local CPU never
+  read;
+* per-wire statistics are accumulated in a private array, and a global
+  routed-wire counter is bumped under a lock.
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar
+
+from repro.layout.records import FieldSpec, RecordType
+from repro.trace.stream import MultiTrace
+from repro.workloads.base import TraceBuilder, Workload, WorkloadParams
+
+__all__ = ["LocusRoute"]
+
+_WORD = RecordType("grid_cell", [FieldSpec("cost", 4)])
+_STAT = RecordType("wire_stat", [FieldSpec("length", 4), FieldSpec("bends", 4)])
+
+
+class LocusRoute(Workload):
+    """The LocusRoute routing kernel.  See module docstring."""
+
+    name: ClassVar[str] = "LocusRoute"
+    paper_description: ClassVar[str] = (
+        "commercial-quality VLSI standard-cell router (SPLASH); shared "
+        "cost grid with geographically partitioned, overlapping work"
+    )
+    supports_restructuring: ClassVar[bool] = False
+
+    #: Cost-grid geometry (words); row-major, one word per cell.  With
+    #: 256 columns a full row occupies 32 lines, so the 24 rows of a
+    #: band fit distinct cache sets (no pathological row aliasing).
+    grid_cols = 256
+    grid_rows = 24
+    #: Columns of overlap into each neighbouring band.
+    overlap = 4
+    #: Wires routed per CPU at scale=1.0.
+    base_wires = 300
+    #: Candidate routes evaluated per wire.
+    candidates = 2
+    #: Fraction of wires whose best route is committed (written); the
+    #: rest are ripped up and retried later without writing.
+    commit_fraction = 0.25
+    #: Barrier-separated routing passes.
+    passes = 2
+
+    def build(self, params: WorkloadParams) -> MultiTrace:
+        layout = self.new_layout(params)
+        num_cpus = params.num_cpus
+        band = self.grid_cols // num_cpus
+
+        grid = layout.shared_array("cost_grid", _WORD, self.grid_cols * self.grid_rows)
+        stats = [
+            layout.private_array(cpu, "wire_stats", _STAT, 256) for cpu in range(num_cpus)
+        ]
+        counter_lock = layout.new_lock()
+        wire_counter = layout.shared_array("routed_wires", _WORD, 1)
+        # Per-process routing-density counters, adjacent in shared memory
+        # (the density structures Eggers & Jeremiassen identified as
+        # LocusRoute's false-sharing hotspot).
+        density = layout.shared_array("density_stats", _WORD, num_cpus)
+        barriers = [layout.new_barrier() for _ in range(self.passes)]
+
+        wires = params.scaled(self.base_wires)
+        per_pass = max(1, wires // self.passes)
+        builders = [
+            TraceBuilder(cpu, self.rng_for(params, cpu), mean_gap=2) for cpu in range(num_cpus)
+        ]
+
+        for cpu, builder in enumerate(builders):
+            rng = builder.rng
+            lo = max(0, cpu * band - self.overlap)
+            hi = min(self.grid_cols - 1, (cpu + 1) * band - 1 + self.overlap)
+            for w in range(wires):
+                self._route_wire(builder, grid, stats[cpu], rng, lo, hi, w)
+                if (w + 1) % 2 == 0:
+                    # Update this process's shared density counter
+                    # (adjacent counters share lines; neighbours bump
+                    # theirs at wire frequency, so these invalidations
+                    # recur inside any prefetch window -- uncoverable).
+                    builder.read(density, cpu, "cost", gap=2)
+                    builder.write(density, cpu, "cost")
+                if (w + 1) % 16 == 0:
+                    # Bump the global progress counter.
+                    builder.lock(counter_lock, gap=2)
+                    builder.read(wire_counter, 0, "cost")
+                    builder.write(wire_counter, 0, "cost")
+                    builder.unlock(counter_lock)
+                for p in range(self.passes):
+                    if w + 1 == per_pass * (p + 1):
+                        builder.barrier(barriers[p])
+            emitted = sum(1 for p in range(self.passes) if per_pass * (p + 1) <= wires)
+            for p in range(emitted, self.passes):
+                builder.barrier(barriers[p])
+
+        return MultiTrace(
+            self.name,
+            [b.finish() for b in builders],
+            metadata={
+                "data_set": (
+                    f"{self.grid_cols}x{self.grid_rows} cost grid, "
+                    f"{wires} wires/CPU"
+                ),
+                "shared_bytes": layout.shared_bytes,
+            },
+        )
+
+    def _cell(self, row: int, col: int) -> int:
+        return row * self.grid_cols + col
+
+    def _route_wire(self, builder, grid, stat, rng, lo: int, hi: int, w: int) -> None:
+        c1 = rng.randint(lo, hi)
+        c2 = rng.randint(lo, hi)
+        if c1 > c2:
+            c1, c2 = c2, c1
+        r1 = rng.randrange(self.grid_rows)
+        r2 = rng.randrange(self.grid_rows)
+
+        # Evaluate candidate L-routes: horizontal run at a trial row,
+        # plus the two vertical legs connecting the endpoints.
+        trial_rows = [r1, r2] + [rng.randrange(self.grid_rows) for _ in range(self.candidates - 2)]
+        for row in trial_rows[: self.candidates]:
+            for col in range(c1, c2 + 1):
+                builder.read(grid, self._cell(row, col), "cost", gap=1)
+            for r in range(min(r1, row), max(r1, row) + 1):
+                builder.read(grid, self._cell(r, c1), "cost", gap=1)
+            for r in range(min(r2, row), max(r2, row) + 1):
+                builder.read(grid, self._cell(r, c2), "cost", gap=1)
+
+        # Commit the best route: bump occupancy along it.  Uncommitted
+        # wires are ripped up (re-routed in a later pass) without writes.
+        if rng.random() < self.commit_fraction:
+            best = trial_rows[w % self.candidates]
+            for col in range(c1, c2 + 1):
+                builder.write(grid, self._cell(best, col), "cost", gap=1)
+            for r in range(min(r1, best), max(r1, best) + 1):
+                builder.write(grid, self._cell(r, c1), "cost", gap=1)
+
+        # Private bookkeeping.
+        builder.write(stat, w % stat.count, "length", gap=2)
+        builder.write(stat, w % stat.count, "bends")

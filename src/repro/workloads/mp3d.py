@@ -1,0 +1,183 @@
+"""Mp3d: rarefied hypersonic particle flow (SPLASH).
+
+"Mp3d solves a problem involving particle flow at extremely low
+density."  It is the memory-system stress case of the paper's workload:
+the highest miss rates, the lowest processor utilizations (0.39 on the
+fast bus down to 0.22 on the slow one), and misses dominated by
+invalidations on write-shared particle and space-cell state.
+
+Kernel structure (one Monte-Carlo step per barrier episode):
+
+* every CPU moves its *owned* particles: reads the particle's position
+  and velocity, computes, writes the position back;
+* a moving particle interacts with its space cell with some
+  probability: the cell's occupancy/energy words are read-modify-
+  written.  Cells are written by whichever CPU's particle lands there,
+  so cell lines are heavily write-shared; at 8 bytes per cell, four
+  cells share a 32-byte line and most cell invalidations are *false*
+  sharing;
+* with a smaller probability the particle collides with a random other
+  particle (read + write of the partner's velocity -- *true* sharing).
+
+Each CPU owns a contiguous block of the shared particle array and walks
+it in order each step, as the original walks its per-processor particle
+lists; the record is padded to one cache line, so particle misses are
+capacity/conflict misses plus the *invalidations* inflicted by other
+CPUs' collision writes.  The sharing pressure comes from cells (mostly
+false sharing at four cells per line) and collisions (true sharing),
+keeping the false/true mix near the paper's.
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar
+
+from repro.layout.records import FieldSpec, RecordType
+from repro.trace.stream import MultiTrace
+from repro.workloads.base import TraceBuilder, Workload, WorkloadParams
+
+__all__ = ["Mp3d"]
+
+#: Particle state: 3-word position, 3-word velocity, cell index, energy.
+_PARTICLE = RecordType(
+    "particle",
+    [
+        FieldSpec("pos", 4, 3),
+        FieldSpec("vel", 4, 3),
+        FieldSpec("cell", 4),
+        FieldSpec("energy", 4),
+    ],
+)
+
+#: Space cell: occupancy count and accumulated energy (8 bytes -> four
+#: cells per 32-byte line, the false-sharing hotspot).
+_CELL = RecordType("space_cell", [FieldSpec("count", 4), FieldSpec("energy", 4)])
+
+
+class Mp3d(Workload):
+    """The Mp3d particle-flow kernel.  See module docstring."""
+
+    name: ClassVar[str] = "Mp3d"
+    paper_description: ClassVar[str] = (
+        "particle flow at extremely low density (SPLASH); highest miss "
+        "rate and sharing traffic of the five workloads"
+    )
+    supports_restructuring: ClassVar[bool] = False
+
+    #: Particles per CPU (fixed; work scales via steps).
+    particles_per_cpu = 200
+    #: Space-cell mesh size (cells are shared by all CPUs; deliberately
+    #: small enough that cell lines stay cache-resident between steps,
+    #: so cross-CPU cell writes surface as invalidation misses).
+    num_cells = 48
+    #: Monte-Carlo steps at scale=1.0.
+    base_steps = 20
+    #: Probability a moved particle interacts with its space cell.
+    cell_interaction_prob = 0.15
+    #: Probability of a binary collision with another particle.
+    collision_prob = 0.06
+    #: Probability a particle's space cell is one of its owner's
+    #: affinity cells (cells interleave owners at cell granularity).
+    cell_affinity = 0.8
+    #: Probability a moved particle updates the global reservoir state
+    #: (Mp3d's global counters): one line hammered by every CPU at high
+    #: frequency.  These invalidations recur faster than any prefetch
+    #: window, so no prefetching discipline can cover them -- a hard
+    #: floor under the CPU miss rate, as in the original traces.
+    reservoir_prob = 0.10
+
+    def build(self, params: WorkloadParams) -> MultiTrace:
+        layout = self.new_layout(params)
+        num_cpus = params.num_cpus
+        total_particles = self.particles_per_cpu * num_cpus
+
+        particles = layout.shared_array(
+            "particles", _PARTICLE, total_particles, pad_to_line=True
+        )
+        cells = layout.shared_array("space_cells", _CELL, self.num_cells)
+        reservoir = layout.shared_array("reservoir", _CELL, 1)
+        step_barriers = [layout.new_barrier() for _ in range(params.scaled(self.base_steps))]
+
+        # Each particle's cell assignment evolves deterministically but
+        # pseudo-randomly; all CPUs see the same global assignment.
+        # Cells have owner affinity *interleaved* at cell granularity:
+        # a particle usually sits in a cell congruent to its owner
+        # (mod num_cpus), so a cell line holds four different CPUs' hot
+        # cells and remote cell updates invalidate through words the
+        # local CPU never touches -- Mp3d's false sharing.
+        assign_rng = self.rng_for(params, "global", "cells")
+
+        def draw_cell(owner: int) -> int:
+            if assign_rng.random() < self.cell_affinity:
+                return (assign_rng.randrange(self.num_cells // num_cpus) * num_cpus + owner) % self.num_cells
+            return assign_rng.randrange(self.num_cells)
+
+        owner_of_particle = [0] * total_particles
+        particle_cell = [0] * total_particles
+
+        # Ownership in round-robin blocks of 50 particles: contiguous
+        # enough for a sequential sweep (no self-conflict in the cache),
+        # scattered enough that the unavoidable aliasing between the
+        # two-cache-sized particle array and the hot cell lines is
+        # spread evenly over CPUs instead of punishing one of them.
+        block = 50
+        owned: list[list[int]] = [[] for _ in range(num_cpus)]
+        for start in range(0, total_particles, block):
+            owner = (start // block) % num_cpus
+            for p in range(start, min(start + block, total_particles)):
+                owned[owner].append(p)
+                owner_of_particle[p] = owner
+                particle_cell[p] = draw_cell(owner)
+
+        builders = [
+            TraceBuilder(cpu, self.rng_for(params, cpu), mean_gap=2) for cpu in range(num_cpus)
+        ]
+
+        for barrier in step_barriers:
+            for cpu, builder in enumerate(builders):
+                rng = builder.rng
+                for p in owned[cpu]:
+                    self._move_particle(builder, particles, cells, particle_cell, p, rng)
+                    if rng.random() < self.collision_prob:
+                        partner = rng.randrange(len(particle_cell))
+                        self._collide(builder, particles, p, partner)
+                    if rng.random() < self.reservoir_prob:
+                        builder.read(reservoir, 0, "count")
+                        builder.write(reservoir, 0, "count")
+            # Cells drift between steps (particles move through space,
+            # mostly staying in their owner's neighbourhood).
+            for p in range(total_particles):
+                if assign_rng.random() < 0.25:
+                    particle_cell[p] = draw_cell(owner_of_particle[p])
+            for builder in builders:
+                builder.barrier(barrier)
+
+        trace = MultiTrace(
+            self.name,
+            [b.finish() for b in builders],
+            metadata={
+                "data_set": f"{total_particles} particles, {self.num_cells} space cells",
+                "shared_bytes": layout.shared_bytes,
+                "steps": len(step_barriers),
+            },
+        )
+        return trace
+
+    def _move_particle(self, builder, particles, cells, particle_cell, p, rng) -> None:
+        # Advance the particle: read position/velocity, integrate, store.
+        builder.read(particles, p, "pos", 0)
+        builder.read(particles, p, "pos", 1)
+        builder.read(particles, p, "vel", 0, gap=3)
+        builder.write(particles, p, "pos", 0)
+        builder.write(particles, p, "pos", 1)
+        if rng.random() < self.cell_interaction_prob:
+            cell = particle_cell[p]
+            builder.read(cells, cell, "count")
+            builder.write(cells, cell, "count")
+
+    def _collide(self, builder, particles, p, partner) -> None:
+        # Binary collision: exchange momentum with the partner (true
+        # sharing -- the partner usually belongs to another CPU).
+        builder.read(particles, partner, "vel", 0, gap=3)
+        builder.write(particles, partner, "vel", 0)
+        builder.write(particles, p, "vel", 0)

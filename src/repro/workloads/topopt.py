@@ -1,0 +1,212 @@
+"""Topopt: topological optimization of VLSI circuits (Devadas & Newton).
+
+"Topopt performs topological optimization on VLSI circuits using a
+parallel simulated annealing algorithm."  In the paper it is the odd
+one out: its shared data set is *small* (it fits in the 32 KB cache),
+but it exhibits a high degree of write sharing and a large number of
+conflict misses anyway -- and over half of its invalidation misses are
+false sharing (Table 3), which is why restructuring helps it most
+dramatically (Table 4: invalidation miss rate cut by a factor of ~6,
+non-sharing misses halved).
+
+Kernel structure: each CPU anneals in *region sweeps*, the locality
+structure of moderate-temperature annealing --
+
+* pick a region of the circuit and, for a few hundred iterations, pick
+  swap candidates ``a`` and ``b`` from the owned cells of that region,
+  reading both records;
+* occasionally the partner is a *foreign* cell anywhere in the circuit
+  (the cross-owner write sharing), protected by a hash lock;
+* every iteration consults a private cost table whose cache placement
+  deliberately overlaps the shared cell array (Topopt's hallmark
+  private/shared conflict misses);
+* with the acceptance probability, commit the swap: write both records.
+
+Layout: the 20-byte cell records are *interleaved* across owners in one
+shared array, so a 32-byte line holds pieces of records owned by
+different CPUs; whenever two CPUs' sweep regions overlap in the address
+space, one CPU's accepted swaps invalidate lines of the other's working
+set through words it never reads -- the false-sharing mechanism.  The
+restructured variant applies the Jeremiassen–Eggers transformation:
+cells are grouped by owning CPU into contiguous, line-aligned slices.
+That both eliminates the false sharing (regions of different CPUs can
+no longer meet inside a line) and densifies each CPU's sweep working
+set (fewer conflict misses), reproducing Table 4's two-fold effect.
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar
+
+from repro.layout.arrays import ArrayHandle
+from repro.layout.records import FieldSpec, RecordType
+from repro.trace.stream import MultiTrace
+from repro.workloads.base import TraceBuilder, Workload, WorkloadParams
+
+__all__ = ["Topopt"]
+
+#: Cell record: position, area, two net ids, score (20 bytes -> records
+#: straddle cache lines, the false-sharing mechanism when interleaved).
+_CELL = RecordType(
+    "cell",
+    [
+        FieldSpec("pos", 4),
+        FieldSpec("area", 4),
+        FieldSpec("net", 4, 2),
+        FieldSpec("score", 4),
+    ],
+)
+
+#: Private annealing cost table entry (one word).
+_COST = RecordType("cost", [FieldSpec("value", 4)])
+
+
+class Topopt(Workload):
+    """The Topopt simulated-annealing kernel.  See module docstring."""
+
+    name: ClassVar[str] = "Topopt"
+    paper_description: ClassVar[str] = (
+        "topological optimization of VLSI circuits by parallel simulated "
+        "annealing; small shared data, heavy write/false sharing, many "
+        "conflict misses"
+    )
+    supports_restructuring: ClassVar[bool] = True
+    #: Placed past the cell array's cache sets: the region-sweep
+    #: replacement misses already supply Topopt's conflict-miss
+    #: character, and a partial overlap would punish whichever CPUs'
+    #: restructured slices happened to share sets with the table (an
+    #: address-placement artifact, not program behaviour).
+    private_set_offset: ClassVar[int] = 25 * 1024
+
+    #: Total cells in the circuit (small: the shared set fits the cache).
+    num_cells = 1200
+    #: Private cost-table words per CPU.
+    cost_table_words = 1000
+    #: Annealing iterations per CPU at scale=1.0.
+    base_iterations = 4800
+    #: Temperature epochs (barrier-separated).
+    epochs = 4
+    #: Owned cells per sweep region.
+    region_cells = 24
+    #: Iterations spent annealing one region before moving on.
+    region_iters = 500
+    #: Probability the partner is a foreign (other CPU's) cell.
+    foreign_prob = 0.03
+    #: Move acceptance probability (writes happen on acceptance).
+    accept_prob = 0.06
+    #: Probability an iteration updates the global annealing state (the
+    #: shared temperature/cost accumulator): one line touched by every
+    #: CPU at high frequency, whose invalidations recur inside any
+    #: prefetch window -- uncoverable by prefetching.
+    global_state_prob = 0.05
+    #: Hash locks protecting cross-owner swaps.
+    num_locks = 64
+
+    def build(self, params: WorkloadParams) -> MultiTrace:
+        layout = self.new_layout(params)
+        num_cpus = params.num_cpus
+        per_cpu = self.num_cells // num_cpus
+
+        if params.restructured:
+            slices = layout.per_cpu_shared_array("cells", _CELL, per_cpu)
+
+            def cell_ref(global_id: int) -> tuple[ArrayHandle, int]:
+                return slices[global_id % num_cpus], global_id // num_cpus
+
+        else:
+            cells = layout.shared_array("cells", _CELL, self.num_cells)
+
+            def cell_ref(global_id: int) -> tuple[ArrayHandle, int]:
+                return cells, global_id
+
+        cost_tables = [
+            layout.private_array(cpu, "cost_table", _COST, self.cost_table_words)
+            for cpu in range(num_cpus)
+        ]
+        locks = layout.new_lock_array(self.num_locks)
+        global_state = layout.shared_array("annealing_state", _COST, 1)
+        barriers = [layout.new_barrier() for _ in range(self.epochs)]
+
+        iterations = params.scaled(self.base_iterations)
+        per_epoch = max(1, iterations // self.epochs)
+        builders = [
+            TraceBuilder(cpu, self.rng_for(params, cpu), mean_gap=2) for cpu in range(num_cpus)
+        ]
+
+        for cpu, builder in enumerate(builders):
+            rng = builder.rng
+            region = self._new_region(rng, cpu, num_cpus, per_cpu)
+            emitted_epochs = 0
+
+            for it in range(iterations):
+                if it % self.region_iters == 0 and it:
+                    region = self._new_region(rng, cpu, num_cpus, per_cpu)
+
+                a = region[rng.randrange(len(region))]
+                array_a, idx_a = cell_ref(a)
+                builder.read(array_a, idx_a, "pos")
+                builder.read(array_a, idx_a, "score", gap=1)
+
+                foreign = rng.random() < self.foreign_prob
+                if foreign:
+                    other = (cpu + rng.randrange(1, num_cpus)) % num_cpus
+                    b = other + rng.randrange(per_cpu) * num_cpus
+                else:
+                    b = region[rng.randrange(len(region))]
+                    if b == a:
+                        b = region[(region.index(a) + 1) % len(region)]
+                array_b, idx_b = cell_ref(b)
+                builder.read(array_b, idx_b, "pos")
+                builder.read(array_b, idx_b, "score", gap=1)
+
+                # Private cost-table lookup, indexed by the candidate
+                # pair (hot across the whole table, so misses come from
+                # the deliberate set overlap with the cell array).
+                builder.read(
+                    cost_tables[cpu], (a * 131 + b * 7) % self.cost_table_words, "value", gap=1
+                )
+
+                if rng.random() < self.accept_prob:
+                    if foreign:
+                        lock = locks[b % self.num_locks]
+                        builder.lock(lock, gap=2)
+                    builder.write(array_a, idx_a, "pos", gap=2)
+                    builder.write(array_a, idx_a, "score")
+                    builder.write(array_b, idx_b, "pos")
+                    builder.write(array_b, idx_b, "score")
+                    if foreign:
+                        builder.unlock(lock)
+
+                if rng.random() < self.global_state_prob:
+                    builder.read(global_state, 0, "value")
+                    builder.write(global_state, 0, "value")
+
+                if (it + 1) % per_epoch == 0 and emitted_epochs < self.epochs:
+                    builder.barrier(barriers[emitted_epochs])
+                    emitted_epochs += 1
+
+            # Scale rounding safety: every CPU arrives at every barrier.
+            for e in range(emitted_epochs, self.epochs):
+                builder.barrier(barriers[e])
+
+        return MultiTrace(
+            self.name,
+            [b.finish() for b in builders],
+            metadata={
+                "data_set": f"{self.num_cells} cells, {iterations} iterations/CPU",
+                "shared_bytes": layout.shared_bytes,
+                "restructured": params.restructured,
+            },
+        )
+
+    def _new_region(self, rng, cpu: int, num_cpus: int, per_cpu: int) -> list[int]:
+        """The owned cells of a fresh sweep region.
+
+        A region is a contiguous range of *local* cell indices, i.e.
+        ``region_cells`` consecutive cells of this CPU.  Interleaved
+        layout spreads them over ``region_cells * num_cpus`` global
+        positions (meeting other CPUs' regions in shared lines); the
+        restructured layout packs them contiguously in the CPU's slice.
+        """
+        start = rng.randrange(max(1, per_cpu - self.region_cells))
+        return [cpu + (start + k) * num_cpus for k in range(self.region_cells)]

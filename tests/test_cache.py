@@ -1,0 +1,177 @@
+"""Unit tests for the coherent cache model."""
+
+import pytest
+
+from repro.cache.coherent import CoherentCache
+from repro.coherence.protocol import BusOp, IllinoisProtocol, LineState
+from repro.common.config import CacheConfig
+
+
+@pytest.fixture
+def protocol():
+    return IllinoisProtocol()
+
+
+def make_cache(protocol, **kwargs):
+    return CoherentCache(CacheConfig(**kwargs), protocol, cpu=0)
+
+
+class TestLookup:
+    def test_cold_miss(self, protocol):
+        cache = make_cache(protocol)
+        result = cache.lookup_demand(0x1000, 0b1, now=0)
+        assert not result.hit
+        assert not result.invalidation_miss
+
+    def test_hit_after_fill(self, protocol):
+        cache = make_cache(protocol)
+        cache.fill(0x1000, LineState.SHARED, by_prefetch=False, now=0)
+        assert cache.lookup_demand(0x1000, 0b1, now=1).hit
+
+    def test_block_of(self, protocol):
+        cache = make_cache(protocol)
+        assert cache.block_of(0x101F) == 0x1000
+        assert cache.block_of(0x1020) == 0x1020
+
+    def test_conflict_replacement_direct_mapped(self, protocol):
+        cache = make_cache(protocol)
+        cache.fill(0x0000, LineState.SHARED, by_prefetch=False, now=0)
+        # Same set, one cache-size away.
+        cache.fill(32 * 1024, LineState.SHARED, by_prefetch=False, now=1)
+        assert not cache.lookup_demand(0x0000, 0b1, now=2).hit
+        assert cache.lookup_demand(32 * 1024, 0b1, now=2).hit
+
+    def test_replacement_miss_is_not_invalidation_miss(self, protocol):
+        cache = make_cache(protocol)
+        cache.fill(0x0000, LineState.SHARED, by_prefetch=False, now=0)
+        cache.fill(32 * 1024, LineState.SHARED, by_prefetch=False, now=1)
+        result = cache.lookup_demand(0x0000, 0b1, now=2)
+        assert not result.invalidation_miss
+
+    def test_associative_cache_keeps_both(self, protocol):
+        cache = make_cache(protocol, associativity=2)
+        cache.fill(0x0000, LineState.SHARED, by_prefetch=False, now=0)
+        cache.fill(32 * 1024, LineState.SHARED, by_prefetch=False, now=1)
+        assert cache.lookup_demand(0x0000, 0b1, now=2).hit
+        assert cache.lookup_demand(32 * 1024, 0b1, now=2).hit
+
+    def test_associative_lru_eviction(self, protocol):
+        cache = make_cache(protocol, associativity=2)
+        s = 32 * 1024
+        cache.fill(0, LineState.SHARED, by_prefetch=False, now=0)
+        cache.fill(s, LineState.SHARED, by_prefetch=False, now=1)
+        cache.record_access(0, 0b1, now=2)  # make block 0 most recent
+        cache.fill(2 * s, LineState.SHARED, by_prefetch=False, now=3)  # evicts s
+        assert cache.lookup_demand(0, 0b1, now=4).hit
+        assert not cache.lookup_demand(s, 0b1, now=4).hit
+
+
+class TestInvalidationMisses:
+    def test_snoop_invalidate_then_miss_classifies_invalidation(self, protocol):
+        cache = make_cache(protocol)
+        cache.fill(0x1000, LineState.SHARED, by_prefetch=False, now=0)
+        cache.record_access(0x1000, 0b1, now=0)
+        had, supplied = cache.snoop(0x1000, BusOp.UPGRADE, writer_word_mask=0b1)
+        assert had and not supplied
+        result = cache.lookup_demand(0x1000, 0b1, now=1)
+        assert result.invalidation_miss
+        # Writer hit the word we accessed: true sharing.
+        assert not result.false_sharing
+
+    def test_false_sharing_when_disjoint_words(self, protocol):
+        cache = make_cache(protocol)
+        cache.fill(0x1000, LineState.SHARED, by_prefetch=False, now=0)
+        cache.record_access(0x1000, 0b1, now=0)  # we touch word 0
+        cache.snoop(0x1000, BusOp.UPGRADE, writer_word_mask=0b1000)  # they write word 3
+        result = cache.lookup_demand(0x1000, 0b1, now=1)  # we re-read word 0
+        assert result.invalidation_miss
+        assert result.false_sharing
+
+    def test_accumulated_remote_write_turns_true(self, protocol):
+        cache = make_cache(protocol)
+        cache.fill(0x1000, LineState.SHARED, by_prefetch=False, now=0)
+        cache.record_access(0x1000, 0b1, now=0)
+        cache.snoop(0x1000, BusOp.UPGRADE, writer_word_mask=0b1000)
+        # Later the remote writer also writes our word (silent write hit
+        # reported by the trace-driven engine).
+        cache.note_remote_write(0x1000, 0b1)
+        result = cache.lookup_demand(0x1000, 0b1, now=1)
+        assert result.invalidation_miss
+        assert not result.false_sharing
+
+    def test_current_access_word_counts_for_truth(self, protocol):
+        cache = make_cache(protocol)
+        cache.fill(0x1000, LineState.SHARED, by_prefetch=False, now=0)
+        cache.record_access(0x1000, 0b1, now=0)
+        cache.snoop(0x1000, BusOp.UPGRADE, writer_word_mask=0b10)
+        # We now access word 1, exactly what the remote wrote: true.
+        result = cache.lookup_demand(0x1000, 0b10, now=1)
+        assert result.invalidation_miss
+        assert not result.false_sharing
+
+    def test_invalidated_tag_replaced_becomes_nonsharing(self, protocol):
+        cache = make_cache(protocol)
+        cache.fill(0x1000, LineState.SHARED, by_prefetch=False, now=0)
+        cache.snoop(0x1000, BusOp.UPGRADE, writer_word_mask=0b1)
+        # Another block claims the frame (invalid frames are reused).
+        cache.fill(0x1000 + 32 * 1024, LineState.SHARED, by_prefetch=False, now=1)
+        result = cache.lookup_demand(0x1000, 0b1, now=2)
+        assert not result.hit
+        assert not result.invalidation_miss  # tag is gone: non-sharing miss
+
+
+class TestFillsAndEviction:
+    def test_dirty_eviction_returns_writeback(self, protocol):
+        cache = make_cache(protocol)
+        cache.fill(0x0000, LineState.MODIFIED, by_prefetch=False, now=0)
+        evicted = cache.fill(32 * 1024, LineState.SHARED, by_prefetch=False, now=1)
+        assert evicted is not None
+        assert evicted.block == 0x0000
+        assert evicted.dirty
+
+    def test_clean_eviction_returns_none(self, protocol):
+        cache = make_cache(protocol)
+        cache.fill(0x0000, LineState.SHARED, by_prefetch=False, now=0)
+        assert cache.fill(32 * 1024, LineState.SHARED, by_prefetch=False, now=1) is None
+
+    def test_install_poisoned_leaves_invalid_tag(self, protocol):
+        cache = make_cache(protocol)
+        cache.install_poisoned(0x1000, remote_written=0b1, now=0)
+        assert cache.state_of(0x1000) is LineState.INVALID
+        result = cache.lookup_demand(0x1000, 0b10, now=1)
+        assert result.invalidation_miss
+        assert result.false_sharing  # remote wrote word 0, we access word 1
+
+
+class TestSnooping:
+    def test_read_snoop_downgrades_and_supplies_dirty(self, protocol):
+        cache = make_cache(protocol)
+        cache.fill(0x1000, LineState.MODIFIED, by_prefetch=False, now=0)
+        had, supplied = cache.snoop(0x1000, BusOp.READ, 0)
+        assert had and supplied
+        assert cache.state_of(0x1000) is LineState.SHARED
+
+    def test_snoop_absent_block(self, protocol):
+        cache = make_cache(protocol)
+        had, supplied = cache.snoop(0x1000, BusOp.READ, 0)
+        assert not had and not supplied
+
+    def test_read_ex_snoop_invalidates(self, protocol):
+        cache = make_cache(protocol)
+        cache.fill(0x1000, LineState.PRIVATE, by_prefetch=False, now=0)
+        had, _ = cache.snoop(0x1000, BusOp.READ_EX, 0b1)
+        assert had
+        assert cache.state_of(0x1000) is LineState.INVALID
+
+
+class TestPrefetchLookup:
+    def test_prefetch_hit_on_valid_line(self, protocol):
+        cache = make_cache(protocol)
+        cache.fill(0x1000, LineState.SHARED, by_prefetch=True, now=0)
+        assert cache.lookup_prefetch(0x1000)
+
+    def test_prefetch_miss_on_invalidated_line(self, protocol):
+        cache = make_cache(protocol)
+        cache.fill(0x1000, LineState.SHARED, by_prefetch=False, now=0)
+        cache.snoop(0x1000, BusOp.UPGRADE, 0b1)
+        assert not cache.lookup_prefetch(0x1000)

@@ -1,0 +1,76 @@
+"""Unit tests for the terminal chart renderers."""
+
+from repro.metrics.charts import bar_chart, line_chart, stacked_bar_chart
+
+
+class TestBarChart:
+    def test_bars_scale_with_values(self):
+        text = bar_chart({"a": 1.0, "b": 0.5}, width=10)
+        a_line, b_line = text.splitlines()
+        assert a_line.count("█") == 10
+        assert b_line.count("█") == 5
+
+    def test_labels_aligned(self):
+        text = bar_chart({"x": 1.0, "longer": 1.0})
+        lines = text.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+    def test_values_printed(self):
+        assert "0.073" in bar_chart({"NP": 0.073})
+
+    def test_title_and_empty(self):
+        assert bar_chart({}, title="T") == "T"
+        assert bar_chart({"a": 0.0}).count("█") == 0
+
+    def test_external_max_value(self):
+        text = bar_chart({"a": 0.5}, width=10, max_value=1.0)
+        assert text.count("█") == 5
+
+
+class TestStackedBarChart:
+    def test_components_use_distinct_glyphs(self):
+        text = stacked_bar_chart(
+            {"NP": {"ns": 1.0, "inv": 1.0}},
+            width=20,
+        )
+        bar_line = text.splitlines()[0]
+        assert "█" in bar_line and "▓" in bar_line
+
+    def test_legend_present(self):
+        text = stacked_bar_chart({"NP": {"ns": 1.0}})
+        assert "legend:" in text
+        assert "ns" in text
+
+    def test_total_shown(self):
+        text = stacked_bar_chart({"NP": {"a": 1.0, "b": 2.0}})
+        assert "3.000" in text
+
+    def test_missing_components_tolerated(self):
+        text = stacked_bar_chart({"NP": {"a": 1.0}, "PREF": {"b": 1.0}})
+        assert "legend:" in text
+
+
+class TestLineChart:
+    def test_axes_and_legend(self):
+        text = line_chart({"PREF": [(4, 0.8), (32, 1.0)]}, height=6, width=20)
+        assert "└" in text
+        assert "legend: P=PREF" in text
+        assert "1.000" in text and "0.800" in text
+
+    def test_distinct_markers_for_similar_names(self):
+        text = line_chart(
+            {"PREF": [(0, 1), (1, 2)], "PWS": [(0, 2), (1, 1)]}, height=6, width=20
+        )
+        assert "P=PREF" in text
+        assert "W=PWS" in text
+
+    def test_empty_series(self):
+        assert line_chart({}, title="T") == "T"
+
+    def test_flat_series_does_not_crash(self):
+        text = line_chart({"A": [(1, 1.0), (2, 1.0)]}, height=5, width=10)
+        assert "A=A" in text
+
+    def test_y_bounds_override(self):
+        text = line_chart({"A": [(0, 0.9)]}, y_min=0.5, y_max=1.0, height=5, width=10)
+        assert "1.000" in text and "0.500" in text

@@ -1,0 +1,94 @@
+"""Smoke tests for the command-line interface (tiny scales)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+SMALL = ["--cpus", "4", "--scale", "0.06"]
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--workload", "nope"])
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "figure9"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "Mp3d" in out and "PWS" in out and "figure2" in out
+
+    def test_stats(self, capsys):
+        assert main(["stats", "--workload", "Water", *SMALL]) == 0
+        out = capsys.readouterr().out
+        assert "Trace statistics: Water" in out
+        assert "write-shared lines" in out
+
+    def test_simulate_np(self, capsys):
+        assert main(["simulate", "--workload", "Water", "--strategy", "NP", *SMALL]) == 0
+        out = capsys.readouterr().out
+        assert "Water / NP" in out
+
+    def test_simulate_with_comparison(self, capsys):
+        assert main(["simulate", "--workload", "Water", "--strategy", "PREF", *SMALL]) == 0
+        out = capsys.readouterr().out
+        assert "PREF vs NP: speedup" in out
+
+    def test_simulate_bad_strategy_is_clean_error(self, capsys):
+        assert main(["simulate", "--workload", "Water", "--strategy", "XXX", *SMALL]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_sweep(self, capsys):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--workload",
+                    "Water",
+                    "--strategies",
+                    "NP,PREF",
+                    "--latencies",
+                    "4,16",
+                    *SMALL,
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "4 cycles" in out and "16 cycles" in out
+
+    def test_experiment_table1(self, capsys):
+        assert main(["experiment", "table1", *SMALL]) == 0
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_analyze(self, capsys):
+        assert main(["analyze", "--workload", "Pverify", *SMALL]) == 0
+        out = capsys.readouterr().out
+        assert "Sharing attribution" in out
+        assert "Restructuring advice" in out
+
+    def test_msi_protocol_flag(self, capsys):
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--workload",
+                    "Water",
+                    "--strategy",
+                    "NP",
+                    "--protocol",
+                    "msi",
+                    *SMALL,
+                ]
+            )
+            == 0
+        )

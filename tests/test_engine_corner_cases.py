@@ -1,0 +1,145 @@
+"""Engine corner cases: races, hot-line contention, ordering."""
+
+import pytest
+
+from repro.common.config import BusConfig, MachineConfig
+from repro.sim.engine import simulate
+from repro.trace.events import Barrier, LockAcquire, LockRelease, MemRef, Prefetch
+from repro.trace.stream import CpuTrace, MultiTrace
+
+
+def run(events_by_cpu, **bus_kwargs):
+    n = len(events_by_cpu)
+    trace = MultiTrace("t", [CpuTrace(c, e) for c, e in enumerate(events_by_cpu)])
+    return simulate(trace, MachineConfig(num_cpus=n, bus=BusConfig(**bus_kwargs)))
+
+
+class TestHotLineContention:
+    def test_all_cpus_hammering_one_word_terminates(self):
+        # The configuration that once livelocked: N CPUs read-modify-
+        # writing the same word continuously under a slow bus.
+        events = [
+            [MemRef(0x1000, w % 2 == 1, gap=1) for w in range(40)] for _ in range(6)
+        ]
+        result = run(events, transfer_cycles=32)
+        assert result.demand_refs == 240
+        # Every CPU makes progress and the line ping-pongs.
+        assert result.miss_counts.invalidation > 50
+
+    def test_adjacent_word_hammering_is_false_sharing(self):
+        events = [
+            [MemRef(0x1000 + 4 * cpu, True, gap=1) for _ in range(20)]
+            for cpu in range(4)
+        ]
+        result = run(events)
+        mc = result.miss_counts
+        assert mc.invalidation >= 4  # the line ping-pongs between owners
+        # Each CPU only ever touches its own word: all false sharing.
+        assert mc.false_sharing == mc.invalidation
+
+    def test_upgrade_race_resolves(self):
+        # Two CPUs repeatedly write a line they both cached: upgrades
+        # race with invalidations; every access must still retire.
+        events = []
+        for cpu in range(2):
+            seq = [MemRef(0x1000)]  # both read first -> SHARED
+            seq += [MemRef(0x1000, True, gap=3) for _ in range(10)]
+            events.append(seq)
+        result = run(events)
+        assert result.demand_refs == 22
+
+
+class TestWritebackTraffic:
+    def test_writeback_occupies_bus(self):
+        S = 32 * 1024
+        events = [[MemRef(0, True), MemRef(S, gap=5), MemRef(2 * S, gap=5)], []]
+        result = run(events, transfer_cycles=8)
+        assert result.per_cpu[0].writebacks == 1
+        # 3 fills + 1 writeback at 8 cycles each.
+        assert result.bus.busy_cycles == 32
+
+    def test_clean_lines_never_write_back(self):
+        S = 32 * 1024
+        events = [[MemRef(0), MemRef(S, gap=5)], []]
+        result = run(events)
+        assert result.per_cpu[0].writebacks == 0
+
+
+class TestPrefetchEdgeCases:
+    def test_prefetch_at_end_of_trace(self):
+        # A prefetch whose data is never used: fills, no demand effect.
+        result = run([[Prefetch(0x1000)], []])
+        assert result.per_cpu[0].prefetch_fills == 1
+        assert result.demand_refs == 0
+
+    def test_prefetch_then_immediate_barrier(self):
+        events0 = [Prefetch(0x1000), Barrier(0, 0x20000000, gap=1)]
+        events1 = [Barrier(0, 0x20000000, gap=1)]
+        result = run([events0, events1])
+        assert result.per_cpu[0].prefetch_fills == 1
+
+    def test_exclusive_prefetch_enters_private_not_modified(self):
+        # An exclusive prefetch must not create dirty data: evicting the
+        # (unwritten) prefetched line must not write back.
+        S = 32 * 1024
+        events = [[Prefetch(0x1000, exclusive=True), MemRef(0x1000 + S, gap=300)], []]
+        result = run(events)
+        assert result.per_cpu[0].writebacks == 0
+
+    def test_prefetch_upgrade_interplay_under_load(self):
+        # Shared prefetch, remote holder, then write: exactly one
+        # upgrade even when the bus is slow.
+        events0 = [Prefetch(0x1000, gap=300)]
+        target = MemRef(0x1000, True, gap=300)
+        target.prefetched = True
+        events0.append(target)
+        result = run([events0, [MemRef(0x1000)]], transfer_cycles=32)
+        assert result.upgrades == 1
+
+
+class TestLockFairnessUnderLoad:
+    def test_every_cpu_gets_the_lock(self):
+        lock_addr = 0x20000000
+        events = []
+        for cpu in range(4):
+            seq = []
+            for _ in range(3):
+                seq.append(LockAcquire(0, lock_addr, gap=2))
+                seq.append(MemRef(0x1000, True, gap=2))
+                seq.append(LockRelease(0, lock_addr))
+            events.append(seq)
+        result = run(events, transfer_cycles=16)
+        for cpu in result.per_cpu:
+            assert cpu.sync_refs == 6  # 3 acquires + 3 releases each
+
+    def test_barrier_then_lock_sequence(self):
+        lock_addr, barrier_addr = 0x20000000, 0x20000040
+        events = []
+        for cpu in range(3):
+            events.append(
+                [
+                    Barrier(0, barrier_addr, gap=1),
+                    LockAcquire(0, lock_addr, gap=1),
+                    MemRef(0x3000, True, gap=1),
+                    LockRelease(0, lock_addr),
+                    Barrier(1, barrier_addr, gap=1),
+                ]
+            )
+        result = run(events)
+        assert result.demand_refs == 3
+
+
+class TestDeterminismUnderConfigs:
+    @pytest.mark.parametrize("transfer", [4, 32])
+    @pytest.mark.parametrize("priority", [True, False])
+    def test_same_inputs_same_outputs(self, transfer, priority):
+        def build():
+            return [
+                [MemRef(0x1000 * (i % 5 + 1), i % 3 == 0, gap=i % 4) for i in range(30)]
+                for _ in range(3)
+            ]
+
+        a = run(build(), transfer_cycles=transfer, demand_priority=priority)
+        b = run(build(), transfer_cycles=transfer, demand_priority=priority)
+        assert a.exec_cycles == b.exec_cycles
+        assert a.describe() == b.describe()

@@ -1,0 +1,73 @@
+"""Tests for the figure modules' chart renderings."""
+
+from repro.experiments import figure1, figure2, figure3
+
+
+class TestFigure1Chart:
+    def test_renders_all_workloads(self):
+        result = figure1.Figure1Result(
+            transfer_cycles=8,
+            rates={
+                "Mp3d": {
+                    "NP": {"total": 0.07, "cpu": 0.07, "adjusted": 0.07},
+                    "PREF": {"total": 0.074, "cpu": 0.06, "adjusted": 0.052},
+                },
+                "Water": {
+                    "NP": {"total": 0.014, "cpu": 0.014, "adjusted": 0.014},
+                    "PREF": {"total": 0.014, "cpu": 0.012, "adjusted": 0.009},
+                },
+            },
+        )
+        text = figure1.render_chart(result)
+        assert "-- Mp3d --" in text and "-- Water --" in text
+        assert "PREF total" in text and "NP adj" in text
+        # Bars are scaled against a common peak: Water's bars are short.
+        water_section = text.split("-- Water --")[1]
+        mp3d_section = text.split("-- Mp3d --")[1].split("-- Water --")[0]
+        assert mp3d_section.count("█") > water_section.count("█")
+
+
+class TestFigure2Chart:
+    def test_series_and_axes(self):
+        result = figure2.Figure2Result(
+            transfer_latencies=(4, 8, 16, 32),
+            relative={
+                "Mp3d": {
+                    "PREF": {4: 0.83, 8: 0.88, 16: 0.93, 32: 0.94},
+                    "PWS": {4: 0.68, 8: 0.75, 16: 0.88, 32: 0.89},
+                }
+            },
+        )
+        text = figure2.render_chart(result)
+        assert "Mp3d" in text
+        assert "P=PREF" in text and "W=PWS" in text
+        assert "1.050" in text  # the shared y-max
+
+
+class TestFigure3Chart:
+    def test_stacks_and_legend(self):
+        result = figure3.Figure3Result(
+            transfer_cycles=8,
+            components={
+                "Topopt": {
+                    "NP": {
+                        "nonsharing_unprefetched": 20.0,
+                        "invalidation_unprefetched": 24.0,
+                        "nonsharing_prefetched": 0.0,
+                        "invalidation_prefetched": 0.0,
+                        "prefetch_in_progress": 0.0,
+                    },
+                    "PREF": {
+                        "nonsharing_unprefetched": 0.2,
+                        "invalidation_unprefetched": 24.0,
+                        "nonsharing_prefetched": 1.0,
+                        "invalidation_prefetched": 0.5,
+                        "prefetch_in_progress": 7.0,
+                    },
+                }
+            },
+        )
+        text = figure3.render_chart(result)
+        assert "-- Topopt" in text
+        assert "legend:" in text
+        assert "inv/unpref" in text

@@ -1,0 +1,182 @@
+"""Unit tests for the prefetch-insertion pass."""
+
+import pytest
+
+from repro.common.config import CacheConfig
+from repro.prefetch.insertion import insert_prefetches
+from repro.prefetch.strategies import EXCL, LPD, NP, PREF, PWS, PrefetchStrategy
+from repro.trace.events import MemRef, Prefetch
+from repro.trace.stream import CpuTrace, MultiTrace
+
+
+def trace_of(events_by_cpu):
+    return MultiTrace(
+        "t", [CpuTrace(cpu, events) for cpu, events in enumerate(events_by_cpu)]
+    )
+
+
+def prefetches(cpu_trace):
+    return [e for e in cpu_trace if type(e) is Prefetch]
+
+
+def memrefs(cpu_trace):
+    return [e for e in cpu_trace if type(e) is MemRef]
+
+
+class TestNP:
+    def test_np_inserts_nothing_and_copies(self):
+        original = trace_of([[MemRef(0x1000, gap=1)]])
+        annotated, report = insert_prefetches(original, NP, CacheConfig())
+        assert annotated.total_prefetches() == 0
+        assert report.inserted == 0
+        # A deep copy: mutating the result leaves the input pristine.
+        annotated[0].events[0].prefetched = True
+        assert not original[0].events[0].prefetched
+
+
+class TestPREF:
+    def test_miss_gets_prefetch_and_mark(self):
+        original = trace_of([[MemRef(0x1000, gap=1)]])
+        annotated, report = insert_prefetches(original, PREF, CacheConfig())
+        pfs = prefetches(annotated[0])
+        assert len(pfs) == 1
+        assert pfs[0].addr == 0x1000
+        assert not pfs[0].exclusive
+        assert memrefs(annotated[0])[0].prefetched
+        assert report.candidates == 1 and report.inserted == 1
+
+    def test_hit_not_prefetched(self):
+        original = trace_of([[MemRef(0x1000), MemRef(0x1004)]])
+        annotated, _ = insert_prefetches(original, PREF, CacheConfig())
+        refs = memrefs(annotated[0])
+        assert refs[0].prefetched
+        assert not refs[1].prefetched  # same block: filter hit
+        assert annotated.total_prefetches() == 1
+
+    def test_prefetch_placed_at_distance(self):
+        # 60 hits (2 cycles each) then a miss: with distance 100, the
+        # prefetch should land ~50 events before the target.
+        events = [MemRef(0x1000 + (i % 8) * 4, gap=1) for i in range(60)]
+        events.append(MemRef(0x9000, gap=1))
+        annotated, _ = insert_prefetches(trace_of([events]), PREF, CacheConfig())
+        stream = annotated[0].events
+        target_pos = next(i for i, e in enumerate(stream) if type(e) is MemRef and e.addr == 0x9000)
+        pf_positions = [i for i, e in enumerate(stream) if type(e) is Prefetch and e.addr == 0x9000]
+        assert len(pf_positions) == 1
+        distance_events = target_pos - pf_positions[0]
+        # ~100 cycles at ~2 cycles per event, +/- placement slack.
+        assert 40 <= distance_events <= 60
+
+    def test_prefetch_never_after_target(self):
+        events = [MemRef(0x1000 * i, gap=1) for i in range(1, 30)]
+        annotated, _ = insert_prefetches(trace_of([events]), PREF, CacheConfig())
+        stream = annotated[0].events
+        seen_targets: set[int] = set()
+        pf_pending: set[int] = set()
+        for event in stream:
+            if type(event) is Prefetch:
+                assert event.addr not in seen_targets
+                pf_pending.add(event.addr)
+            elif type(event) is MemRef and event.prefetched:
+                assert event.addr in pf_pending
+                seen_targets.add(event.addr)
+
+    def test_conflict_misses_predicted(self):
+        # Two blocks one cache-size apart alternate: all conflict misses
+        # after the first round trip, all predicted by the filter.
+        events = []
+        for _ in range(4):
+            events.append(MemRef(0x0, gap=1))
+            events.append(MemRef(32 * 1024, gap=1))
+        annotated, report = insert_prefetches(trace_of([events]), PREF, CacheConfig())
+        assert report.candidates == 8  # every access misses
+
+
+class TestEXCL:
+    def test_write_miss_prefetched_exclusive(self):
+        original = trace_of([[MemRef(0x1000, True, gap=1)]])
+        annotated, report = insert_prefetches(original, EXCL, CacheConfig())
+        assert prefetches(annotated[0])[0].exclusive
+        assert report.exclusive == 1
+
+    def test_read_miss_stays_shared(self):
+        original = trace_of([[MemRef(0x1000, False, gap=1)]])
+        annotated, report = insert_prefetches(original, EXCL, CacheConfig())
+        assert not prefetches(annotated[0])[0].exclusive
+        assert report.exclusive == 0
+
+    def test_pref_never_exclusive_even_for_writes(self):
+        original = trace_of([[MemRef(0x1000, True, gap=1)]])
+        annotated, _ = insert_prefetches(original, PREF, CacheConfig())
+        assert not prefetches(annotated[0])[0].exclusive
+
+
+class TestLPD:
+    def test_longer_distance_places_earlier(self):
+        events = [MemRef(0x1000 + (i % 8) * 4, gap=1) for i in range(300)]
+        events.append(MemRef(0x9000, gap=1))
+        pref_annotated, _ = insert_prefetches(trace_of([events]), PREF, CacheConfig())
+        lpd_annotated, _ = insert_prefetches(trace_of([events]), LPD, CacheConfig())
+
+        def pf_gap(annotated):
+            stream = annotated[0].events
+            tpos = next(
+                i for i, e in enumerate(stream) if type(e) is MemRef and e.addr == 0x9000
+            )
+            ppos = next(
+                i for i, e in enumerate(stream) if type(e) is Prefetch and e.addr == 0x9000
+            )
+            return tpos - ppos
+
+        assert pf_gap(lpd_annotated) > pf_gap(pref_annotated) * 2
+
+
+class TestPWS:
+    def _ws_trace(self):
+        # All 21 blocks are write-shared (cpu0 writes each, cpu1 reads).
+        # cpu1 returns to block 0x10000000 with 20 other write-shared
+        # blocks between touches, so the 16-line PWS filter misses on
+        # every return even though the 32 KB filter cache hits.
+        blocks = [0x10000000 + j * 32 for j in range(21)]
+        cpu0 = [MemRef(b, True, gap=1, shared=True) for b in blocks for _ in range(2)]
+        cpu1 = []
+        for _ in range(4):
+            for b in blocks:
+                cpu1.append(MemRef(b, False, gap=1, shared=True))
+        return trace_of([cpu0, cpu1])
+
+    def test_redundant_prefetches_added(self):
+        trace = self._ws_trace()
+        _, pref_report = insert_prefetches(trace, PREF, CacheConfig())
+        _, pws_report = insert_prefetches(trace, PWS, CacheConfig())
+        assert pws_report.ws_extras > 0
+        assert pws_report.inserted > pref_report.inserted
+
+    def test_ws_extras_cover_cache_resident_data(self):
+        # The PWS extras are "redundant in the uniprocessor sense":
+        # they target refs the filter cache says would hit.
+        trace = self._ws_trace()
+        annotated, report = insert_prefetches(trace, PWS, CacheConfig())
+        assert report.ws_extras >= 3  # the repeated returns by cpu1
+
+    def test_good_locality_suppresses_extras(self):
+        # Consecutive accesses to the same write-shared line hit the
+        # 16-line filter: no redundant prefetches.
+        cpu0 = [MemRef(0x10000000, True, gap=1, shared=True)]
+        cpu1 = [MemRef(0x10000000, False, gap=1, shared=True) for _ in range(10)]
+        _, report = insert_prefetches(trace_of([cpu0, cpu1]), PWS, CacheConfig())
+        assert report.ws_extras <= 1
+
+
+class TestDistanceKnob:
+    def test_with_distance_builds_variant(self):
+        variant = PREF.with_distance(250)
+        assert variant.distance == 250
+        assert variant.enabled
+        assert "250" in variant.name
+
+    def test_custom_strategy_applies(self):
+        events = [MemRef(0x1000 * i, gap=1) for i in range(1, 10)]
+        strategy = PrefetchStrategy("T", distance=1)
+        annotated, report = insert_prefetches(trace_of([events]), strategy, CacheConfig())
+        assert report.inserted == 9

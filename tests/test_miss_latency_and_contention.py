@@ -1,0 +1,86 @@
+"""Tests for the avg-miss-latency metric and the contention-free bus."""
+
+import pytest
+
+from repro.common.config import BusConfig, MachineConfig
+from repro.sim.engine import simulate
+from repro.trace.events import MemRef
+from repro.trace.stream import CpuTrace, MultiTrace
+
+
+def machine(num_cpus=2, **bus_kwargs):
+    return MachineConfig(num_cpus=num_cpus, bus=BusConfig(**bus_kwargs))
+
+
+def run(events_by_cpu, m):
+    trace = MultiTrace("t", [CpuTrace(c, e) for c, e in enumerate(events_by_cpu)])
+    return simulate(trace, m)
+
+
+class TestMissLatency:
+    def test_unloaded_miss_costs_memory_latency(self):
+        result = run([[MemRef(0x1000)], []], machine())
+        assert result.avg_miss_latency == pytest.approx(100.0)
+
+    def test_hits_do_not_count(self):
+        result = run([[MemRef(0x1000), MemRef(0x1000, gap=5)], []], machine())
+        assert result.miss_counts.cpu_misses == 1
+        assert result.avg_miss_latency == pytest.approx(100.0)
+
+    def test_queueing_inflates_latency(self):
+        # Four CPUs missing simultaneously on a 32-cycle-transfer bus:
+        # the later grants wait.
+        events = [[MemRef(0x1000 * (cpu + 1))] for cpu in range(4)]
+        result = run(events, machine(num_cpus=4, transfer_cycles=32))
+        assert result.avg_miss_latency > 130  # 100 + mean queueing
+
+    def test_upgrade_wait_counts(self):
+        # Read (PRIVATE on cpu0), remote read (SHARED), then write: the
+        # upgrade latency shows up as miss wait.
+        result = run(
+            [
+                [MemRef(0x1000), MemRef(0x1000, True, gap=400)],
+                [MemRef(0x1000, gap=150)],
+            ],
+            machine(),
+        )
+        # Two plain misses at 100 plus one upgrade wait (~12 cycles).
+        total_wait = sum(c.miss_wait_cycles for c in result.per_cpu)
+        assert total_wait == pytest.approx(2 * 100 + 12, abs=4)
+
+    def test_no_misses_means_zero(self):
+        result = run([[], []], machine())
+        assert result.avg_miss_latency == 0.0
+
+
+class TestContentionFreeBus:
+    def test_concurrent_misses_do_not_queue(self):
+        events = [[MemRef(0x1000 * (cpu + 1))] for cpu in range(4)]
+        contended = run(events, machine(num_cpus=4, transfer_cycles=32))
+        free = run(events, machine(num_cpus=4, transfer_cycles=32, contention_free=True))
+        assert free.avg_miss_latency == pytest.approx(100.0)
+        assert contended.avg_miss_latency > free.avg_miss_latency
+        assert free.exec_cycles < contended.exec_cycles
+
+    def test_coherence_still_enforced(self):
+        # Invalidation misses still happen without contention.
+        result = run(
+            [
+                [MemRef(0x1000), MemRef(0x1000, gap=500)],
+                [MemRef(0x1000, True, gap=150)],
+            ],
+            machine(contention_free=True),
+        )
+        assert result.miss_counts.invalidation == 1
+
+    def test_occupancy_still_accounted(self):
+        result = run(
+            [[MemRef(0x1000)], [MemRef(0x2000)]],
+            machine(transfer_cycles=8, contention_free=True),
+        )
+        assert result.bus.busy_cycles == 16
+        assert result.bus.total_wait_cycles == 0
+
+    def test_describe_includes_flag(self):
+        m = machine(contention_free=True)
+        assert m.describe()["contention_free"] is True

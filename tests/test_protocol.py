@@ -1,0 +1,111 @@
+"""Unit tests for the Illinois coherence protocol decision tables."""
+
+import pytest
+
+from repro.coherence.protocol import BusOp, IllinoisProtocol, LineState
+from repro.common.errors import SimulationError
+
+
+@pytest.fixture
+def protocol():
+    return IllinoisProtocol()
+
+
+class TestStates:
+    def test_invalid_is_not_valid(self):
+        assert not LineState.INVALID.is_valid
+
+    def test_valid_states(self):
+        for state in (LineState.SHARED, LineState.PRIVATE, LineState.MODIFIED):
+            assert state.is_valid
+
+    def test_exclusive_states(self):
+        assert LineState.PRIVATE.is_exclusive
+        assert LineState.MODIFIED.is_exclusive
+        assert not LineState.SHARED.is_exclusive
+        assert not LineState.INVALID.is_exclusive
+
+
+class TestLocalDecisions:
+    def test_read_hit_on_any_valid_state(self, protocol):
+        for state in (LineState.SHARED, LineState.PRIVATE, LineState.MODIFIED):
+            assert protocol.read_hit_ok(state)
+        assert not protocol.read_hit_ok(LineState.INVALID)
+
+    def test_write_to_shared_needs_upgrade(self, protocol):
+        assert protocol.write_hit_needs_upgrade(LineState.SHARED)
+
+    def test_write_to_exclusive_is_silent(self, protocol):
+        # The Illinois private-clean state: no bus operation on write.
+        assert not protocol.write_hit_needs_upgrade(LineState.PRIVATE)
+        assert not protocol.write_hit_needs_upgrade(LineState.MODIFIED)
+
+    def test_write_hit_invalid_is_an_error(self, protocol):
+        with pytest.raises(SimulationError):
+            protocol.write_hit_needs_upgrade(LineState.INVALID)
+
+    def test_state_after_write_hit_is_modified(self, protocol):
+        for state in (LineState.SHARED, LineState.PRIVATE, LineState.MODIFIED):
+            assert protocol.state_after_write_hit(state) is LineState.MODIFIED
+
+
+class TestFillStates:
+    def test_read_fill_alone_enters_private(self, protocol):
+        # The Illinois signature feature (paper section 4.1).
+        assert protocol.fill_state(BusOp.READ, others_have_copy=False) is LineState.PRIVATE
+
+    def test_read_fill_with_sharers_enters_shared(self, protocol):
+        assert protocol.fill_state(BusOp.READ, others_have_copy=True) is LineState.SHARED
+
+    def test_read_ex_fill_enters_modified(self, protocol):
+        assert protocol.fill_state(BusOp.READ_EX, others_have_copy=True) is LineState.MODIFIED
+        assert protocol.fill_state(BusOp.READ_EX, others_have_copy=False) is LineState.MODIFIED
+
+    def test_fill_state_rejects_non_fill_ops(self, protocol):
+        with pytest.raises(SimulationError):
+            protocol.fill_state(BusOp.UPGRADE, others_have_copy=False)
+
+
+class TestSnooping:
+    def test_invalid_ignores_everything(self, protocol):
+        for op in BusOp:
+            action = protocol.snoop(LineState.INVALID, op)
+            assert action.new_state is LineState.INVALID
+            assert not action.supplies_data
+            assert not action.invalidated
+
+    def test_remote_read_downgrades_private(self, protocol):
+        action = protocol.snoop(LineState.PRIVATE, BusOp.READ)
+        assert action.new_state is LineState.SHARED
+        assert not action.supplies_data
+
+    def test_remote_read_downgrades_modified_and_supplies(self, protocol):
+        # Illinois cache-to-cache transfer from the dirty holder.
+        action = protocol.snoop(LineState.MODIFIED, BusOp.READ)
+        assert action.new_state is LineState.SHARED
+        assert action.supplies_data
+        assert not action.invalidated
+
+    def test_remote_read_keeps_shared_shared(self, protocol):
+        action = protocol.snoop(LineState.SHARED, BusOp.READ)
+        assert action.new_state is LineState.SHARED
+
+    @pytest.mark.parametrize("op", [BusOp.READ_EX, BusOp.UPGRADE])
+    @pytest.mark.parametrize(
+        "state", [LineState.SHARED, LineState.PRIVATE, LineState.MODIFIED]
+    )
+    def test_remote_exclusive_invalidates(self, protocol, op, state):
+        action = protocol.snoop(state, op)
+        assert action.new_state is LineState.INVALID
+        assert action.invalidated
+
+    def test_only_dirty_read_ex_supplies(self, protocol):
+        assert protocol.snoop(LineState.MODIFIED, BusOp.READ_EX).supplies_data
+        assert not protocol.snoop(LineState.SHARED, BusOp.READ_EX).supplies_data
+        # An UPGRADE transfers no data (the requester already has it).
+        assert not protocol.snoop(LineState.MODIFIED, BusOp.UPGRADE).supplies_data
+
+    def test_writeback_is_not_a_coherence_event(self, protocol):
+        for state in (LineState.SHARED, LineState.PRIVATE, LineState.MODIFIED):
+            action = protocol.snoop(state, BusOp.WRITEBACK)
+            assert action.new_state is state

@@ -1,0 +1,112 @@
+"""Property-based tests of engine invariants over random traces.
+
+Hypothesis builds small random multiprocessor traces (with optional
+prefetches, locks, and barriers) and checks the invariants the rest of
+the library relies on: conservation of references, coherence of the
+final cache states, metric identities, and determinism.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coherence.protocol import LineState
+from repro.common.config import BusConfig, MachineConfig
+from repro.sim.engine import SimulationEngine, simulate
+from repro.common.config import SimulationConfig
+from repro.trace.events import Barrier, MemRef, Prefetch
+from repro.trace.stream import CpuTrace, MultiTrace
+
+NUM_CPUS = 3
+BLOCKS = [0x1000 * i for i in range(1, 9)]
+
+
+@st.composite
+def small_traces(draw):
+    """A random 3-CPU trace over a small block pool, with one barrier."""
+    def cpu_events():
+        n = draw(st.integers(min_value=0, max_value=25))
+        events = []
+        for _ in range(n):
+            kind = draw(st.integers(min_value=0, max_value=3))
+            addr = draw(st.sampled_from(BLOCKS)) + draw(st.sampled_from([0, 4, 16, 28]))
+            gap = draw(st.integers(min_value=0, max_value=4))
+            if kind == 3:
+                events.append(Prefetch(addr, exclusive=draw(st.booleans()), gap=gap))
+            else:
+                events.append(MemRef(addr, is_write=kind == 1, gap=gap))
+        return events
+
+    cpu_traces = []
+    for cpu in range(NUM_CPUS):
+        events = cpu_events()
+        events.append(Barrier(0, 0x20000000, gap=1))
+        events.extend(cpu_events())
+        cpu_traces.append(CpuTrace(cpu, events))
+    return MultiTrace("prop", cpu_traces)
+
+
+def machine(transfer_cycles=8):
+    return MachineConfig(num_cpus=NUM_CPUS, bus=BusConfig(transfer_cycles=transfer_cycles))
+
+
+class TestEngineInvariants:
+    @given(trace=small_traces())
+    @settings(max_examples=60, deadline=None)
+    def test_all_references_retire(self, trace):
+        expected = trace.total_memrefs()
+        result = simulate(trace, machine())
+        assert result.demand_refs == expected
+
+    @given(trace=small_traces())
+    @settings(max_examples=60, deadline=None)
+    def test_misses_never_exceed_references(self, trace):
+        result = simulate(trace, machine())
+        assert result.miss_counts.cpu_misses <= result.demand_refs
+        assert 0 <= result.bus_utilization <= 1.0
+
+    @given(trace=small_traces())
+    @settings(max_examples=60, deadline=None)
+    def test_cycle_accounting_identity(self, trace):
+        result = simulate(trace, machine())
+        for cpu in result.per_cpu:
+            assert cpu.busy_cycles + cpu.stall_cycles + cpu.sync_wait_cycles == cpu.finish_time
+
+    @given(trace=small_traces(), cycles=st.sampled_from([4, 8, 32]))
+    @settings(max_examples=40, deadline=None)
+    def test_coherence_single_writer(self, trace, cycles):
+        """At quiescence, at most one cache holds a block exclusively,
+        and exclusive ownership excludes any other valid copy."""
+        engine = SimulationEngine(trace, machine(cycles), SimulationConfig())
+        engine.run()
+        for block in BLOCKS:
+            states = [p.cache.state_of(block) for p in engine.procs]
+            exclusive = sum(1 for s in states if s.is_exclusive)
+            valid = sum(1 for s in states if s.is_valid)
+            assert exclusive <= 1
+            if exclusive:
+                assert valid == 1
+
+    @given(trace=small_traces())
+    @settings(max_examples=30, deadline=None)
+    def test_determinism(self, trace):
+        a = simulate(trace, machine())
+        b = simulate(trace, machine())
+        assert a.exec_cycles == b.exec_cycles
+        assert a.miss_counts.cpu_misses == b.miss_counts.cpu_misses
+        assert a.bus.busy_cycles == b.bus.busy_cycles
+
+    @given(trace=small_traces())
+    @settings(max_examples=30, deadline=None)
+    def test_slower_bus_never_speeds_up_np_runs(self, trace):
+        fast = simulate(trace, machine(4))
+        slow = simulate(trace, machine(32))
+        assert slow.exec_cycles >= fast.exec_cycles
+
+    @given(trace=small_traces())
+    @settings(max_examples=30, deadline=None)
+    def test_prefetch_fills_bounded_by_prefetches(self, trace):
+        result = simulate(trace, machine())
+        assert result.prefetch_fills <= result.prefetches_issued
+        for cpu in result.per_cpu:
+            issued = cpu.prefetches_issued
+            assert cpu.prefetch_hits + cpu.prefetch_fills + cpu.prefetch_squashed == issued

@@ -1,0 +1,109 @@
+"""Shape-regression tests for the calibrated workload suite.
+
+These run the five workloads on a reduced frame (6 CPUs, scale 0.3)
+and assert the *orderings* the reproduction's conclusions depend on.
+They are the guard-rail against future workload edits silently
+destroying the paper's shapes; the full-scale quantitative checks live
+in the benchmark harness.
+"""
+
+import pytest
+
+from repro.common.config import MachineConfig
+from repro.experiments.runner import ExperimentRunner
+from repro.prefetch.strategies import NP, PREF, PWS
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(num_cpus=6, scale=0.3)
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return MachineConfig(num_cpus=6)  # 8-cycle transfer
+
+
+@pytest.fixture(scope="module")
+def np_runs(runner, machine):
+    return {
+        wl: runner.run(wl, NP, machine)
+        for wl in ("Topopt", "Mp3d", "LocusRoute", "Pverify", "Water")
+    }
+
+
+class TestNPOrderings:
+    def test_water_has_the_lowest_miss_rate(self, np_runs):
+        water = np_runs["Water"].cpu_miss_rate
+        for name, run in np_runs.items():
+            if name != "Water":
+                assert water < 0.6 * run.cpu_miss_rate, name
+
+    def test_water_has_the_highest_utilization(self, np_runs):
+        water = np_runs["Water"].processor_utilization
+        for name, run in np_runs.items():
+            if name != "Water":
+                assert water > 1.5 * run.processor_utilization, name
+
+    def test_mp3d_and_pverify_are_the_heavy_sharers(self, np_runs):
+        for name in ("Mp3d", "Pverify"):
+            assert np_runs[name].invalidation_miss_rate > 0.02, name
+
+    def test_invalidation_dominates_pverify(self, np_runs):
+        run = np_runs["Pverify"]
+        mc = run.miss_counts
+        assert mc.invalidation > mc.nonsharing
+
+    def test_every_workload_shows_false_sharing_except_water(self, np_runs):
+        for name, run in np_runs.items():
+            if name == "Water":
+                assert run.false_sharing_miss_rate < 0.002
+            else:
+                assert run.false_sharing_miss_rate > 0.003, name
+
+    def test_topopt_false_fraction_is_high(self, np_runs):
+        run = np_runs["Topopt"]
+        assert run.false_sharing_miss_rate > 0.25 * run.invalidation_miss_rate
+
+
+class TestPrefetchingShapes:
+    @pytest.mark.parametrize("workload", ["Mp3d", "Pverify", "Topopt"])
+    def test_pref_helps_but_modestly(self, runner, machine, np_runs, workload):
+        pref = runner.run(workload, PREF, machine)
+        rel = pref.exec_cycles / np_runs[workload].exec_cycles
+        assert 0.6 < rel < 1.02, (workload, rel)
+
+    @pytest.mark.parametrize("workload", ["Mp3d", "Pverify"])
+    def test_pws_beats_pref(self, runner, machine, workload):
+        pref = runner.run(workload, PREF, machine)
+        pws = runner.run(workload, PWS, machine)
+        assert pws.exec_cycles < pref.exec_cycles, workload
+        assert pws.adjusted_cpu_miss_rate < pref.adjusted_cpu_miss_rate
+
+    def test_total_miss_rate_never_improves(self, runner, machine, np_runs):
+        for workload, base in np_runs.items():
+            pref = runner.run(workload, PREF, machine)
+            assert pref.total_miss_rate >= base.total_miss_rate - 0.004, workload
+
+    def test_prefetching_cannot_beat_the_utilization_bound(
+        self, runner, machine, np_runs
+    ):
+        for workload, base in np_runs.items():
+            pws = runner.run(workload, PWS, machine)
+            speedup = base.exec_cycles / pws.exec_cycles
+            assert speedup <= 1.0 / base.processor_utilization + 0.05, workload
+
+
+class TestRestructuringShapes:
+    @pytest.mark.parametrize("workload", ["Topopt", "Pverify"])
+    def test_restructuring_kills_false_sharing(self, runner, machine, workload):
+        plain = runner.run(workload, NP, machine)
+        restr = runner.run(workload, NP, machine, restructured=True)
+        assert restr.false_sharing_miss_rate < 0.25 * plain.false_sharing_miss_rate
+        assert restr.exec_cycles < plain.exec_cycles * 1.02
+
+    def test_pref_approaches_pws_after_restructuring(self, runner, machine):
+        for workload in ("Topopt", "Pverify"):
+            pref = runner.run(workload, PREF, machine, restructured=True)
+            pws = runner.run(workload, PWS, machine, restructured=True)
+            assert pref.exec_cycles <= pws.exec_cycles * 1.3, workload
