@@ -8,10 +8,17 @@ table to ``results/`` so the paper-shaped outputs survive the run.
 
 Ablation benches use a second, lighter runner (reduced workload scale)
 because each ablation point is a distinct machine that shares nothing.
+
+Both runners persist results under ``results/.cache/`` (keyed by the
+full simulation input, including the engine version), so a re-run of an
+already-simulated session costs seconds.  Set ``REPRO_BENCH_WORKERS=N``
+to fan uncached grid points out over N worker processes; the default is
+serial.  Neither knob changes any number in ``results/``.
 """
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 import pytest
@@ -20,17 +27,21 @@ from repro.experiments.runner import ExperimentRunner
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 
+_WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
+
 
 @pytest.fixture(scope="session")
 def runner() -> ExperimentRunner:
     """The paper-scale runner shared by the table/figure benches."""
-    return ExperimentRunner()
+    return ExperimentRunner(max_workers=_WORKERS, disk_cache=RESULTS_DIR / ".cache")
 
 
 @pytest.fixture(scope="session")
 def ablation_runner() -> ExperimentRunner:
     """A lighter runner for the ablation sweeps."""
-    return ExperimentRunner(scale=0.5)
+    return ExperimentRunner(
+        scale=0.5, max_workers=_WORKERS, disk_cache=RESULTS_DIR / ".cache"
+    )
 
 
 @pytest.fixture(scope="session")

@@ -58,6 +58,29 @@ class BusStats:
         """Fraction of ``total_cycles`` the bus was busy."""
         return self.busy_cycles / total_cycles if total_cycles else 0.0
 
+    def to_dict(self) -> dict:
+        """JSON-safe dict; ``ops_by_kind`` keyed by kind *name*."""
+        return {
+            "busy_cycles": self.busy_cycles,
+            "ops_by_kind": {kind.name: n for kind, n in self.ops_by_kind.items()},
+            "demand_ops": self.demand_ops,
+            "prefetch_ops": self.prefetch_ops,
+            "total_wait_cycles": self.total_wait_cycles,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BusStats":
+        """Exact inverse of :meth:`to_dict`."""
+        return cls(
+            busy_cycles=data["busy_cycles"],
+            ops_by_kind={
+                TransactionKind[name]: n for name, n in data["ops_by_kind"].items()
+            },
+            demand_ops=data["demand_ops"],
+            prefetch_ops=data["prefetch_ops"],
+            total_wait_cycles=data["total_wait_cycles"],
+        )
+
 
 class Bus:
     """The contended memory resource shared by all CPUs.

@@ -8,6 +8,8 @@ Commands:
 * ``experiment`` -- regenerate a paper table or figure by name;
 * ``stats`` -- static trace statistics for a workload;
 * ``analyze`` -- sharing attribution and restructuring advice;
+* ``bench`` -- engine throughput micro-benchmark with a regression
+  check against the committed ``BENCH_engine.json``;
 * ``list`` -- available workloads, strategies and experiments.
 
 Examples::
@@ -15,6 +17,7 @@ Examples::
     python -m repro simulate --workload Mp3d --strategy PWS --transfer 4
     python -m repro experiment figure2 --chart
     python -m repro analyze --workload Pverify
+    python -m repro bench --quick
 """
 
 from __future__ import annotations
@@ -41,6 +44,7 @@ from repro.experiments import (
 )
 from repro.experiments.runner import ExperimentRunner
 from repro.metrics.formatting import format_run_summary, format_table
+from repro.perf.bench import DEFAULT_REPORT
 from repro.prefetch.strategies import ALL_STRATEGIES, PBUF, strategy_by_name
 from repro.trace.stats import compute_stats
 from repro.workloads.registry import ALL_WORKLOAD_NAMES
@@ -202,6 +206,62 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.perf.bench import (
+        check_regression,
+        load_report,
+        run_microbench,
+        update_report,
+    )
+
+    result = run_microbench(
+        workload=args.workload,
+        num_cpus=args.cpus,
+        scale=args.scale,
+        seed=args.seed,
+        min_seconds=1.0 if args.quick else 10.0,
+    )
+    report = load_report(args.file)
+    print(
+        f"{result.workload}: {result.events:,} events x {result.runs} runs, "
+        f"best {result.events_per_sec:,.0f} events/sec "
+        f"({result.wall_seconds:.2f}s total)"
+    )
+    baseline_eps = ((report or {}).get("baseline") or {}).get("events_per_sec")
+    if baseline_eps:
+        print(
+            f"speedup vs recorded baseline ({baseline_eps:,.0f} events/sec): "
+            f"{result.events_per_sec / baseline_eps:.2f}x"
+        )
+    headline = None
+    if args.headline:
+        import time
+
+        from repro.experiments import headline as headline_mod
+
+        runner = ExperimentRunner(num_cpus=args.cpus, seed=args.seed, scale=args.scale)
+        t0 = time.perf_counter()
+        headline_mod.run(runner)
+        headline = {
+            "experiment": "headline",
+            "wall_seconds": round(time.perf_counter() - t0, 2),
+        }
+        print(f"headline experiment: {headline['wall_seconds']:.1f}s end to end")
+    if args.update:
+        update_report(result, args.file, headline=headline)
+        print(f"updated {args.file}")
+        return 0
+    ok, reference, ratio = check_regression(
+        result.events_per_sec, report, tolerance=1.0 - args.min_ratio
+    )
+    if reference is not None:
+        print(
+            f"regression check vs committed {reference:,.0f} events/sec: "
+            f"ratio {ratio:.2f} ({'ok' if ok else 'REGRESSION'})"
+        )
+    return 0 if ok else 1
+
+
 def _cmd_list(_args: argparse.Namespace) -> int:
     print("workloads  :", ", ".join(ALL_WORKLOAD_NAMES))
     print(
@@ -260,6 +320,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--restructured", action="store_true")
     _add_machine_args(p)
     p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser("bench", help="engine throughput benchmark + regression check")
+    p.add_argument("--quick", action="store_true", help="short calibration (CI smoke)")
+    p.add_argument(
+        "--update", action="store_true",
+        help="write the measurement into the report instead of checking",
+    )
+    p.add_argument("--file", default=DEFAULT_REPORT, help="report path")
+    p.add_argument(
+        "--min-ratio", type=float, default=0.7,
+        help="fail when measured/committed events/sec drops below this (default 0.7)",
+    )
+    p.add_argument(
+        "--headline", action="store_true",
+        help="also time the headline experiment end to end",
+    )
+    p.add_argument("--workload", default="Water", choices=ALL_WORKLOAD_NAMES)
+    p.add_argument("--cpus", type=int, default=12, help="processor count (default 12)")
+    p.add_argument("--scale", type=float, default=1.0, help="workload scale (default 1.0)")
+    p.add_argument("--seed", type=int, default=42, help="workload seed (default 42)")
+    p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser("list", help="available workloads/strategies/experiments")
     p.set_defaults(func=_cmd_list)

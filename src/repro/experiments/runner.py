@@ -10,20 +10,38 @@ seed, workload scale) and memoises:
 
 Annotated (prefetch-inserted) traces are *not* cached: they are cheap
 to rebuild relative to simulation and expensive to hold.
+
+On top of the in-memory memo the runner optionally layers
+
+* a **persistent disk cache** (``disk_cache=``, see
+  :mod:`repro.perf.diskcache`): results keyed by a content hash of the
+  full simulation input -- workload spec, scale, seed, strategy,
+  machine config and :data:`~repro.sim.engine.ENGINE_VERSION` -- so a
+  repeated bench session re-simulates nothing; and
+* a **process-parallel backend** (``max_workers=``): batch entry
+  points (:meth:`run_many`, and :meth:`sweep`/:meth:`compare` which
+  route through it) fan uncached simulations out over a
+  :class:`~concurrent.futures.ProcessPoolExecutor`.  Each simulation
+  is a pure function of its inputs, so parallel results are
+  *byte-identical* to serial ones; results always come back in job
+  order, never completion order.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass
+from pathlib import Path
 from typing import Any
 
 from repro.common.config import MachineConfig, SimulationConfig
 from repro.metrics.compare import RunComparison, compare_runs
 from repro.metrics.results import RunMetrics
+from repro.perf.diskcache import ResultDiskCache, content_key
 from repro.prefetch.insertion import insert_prefetches
 from repro.prefetch.strategies import NP, PrefetchStrategy
-from repro.sim.engine import simulate
+from repro.sim.engine import ENGINE_VERSION, simulate
 from repro.trace.stream import MultiTrace
 from repro.workloads.registry import generate_workload
 
@@ -61,6 +79,50 @@ def _machine_key(machine: MachineConfig) -> tuple:
     return tuple(sorted(machine.describe().items()))
 
 
+#: Per-worker-process clean-trace LRU (workers are reused across jobs,
+#: and jobs for the same workload shouldn't regenerate its trace).
+_WORKER_TRACES: OrderedDict[tuple, MultiTrace] = OrderedDict()
+_WORKER_TRACE_LIMIT = 3
+
+
+def _simulate_job(
+    workload: str,
+    restructured: bool,
+    num_cpus: int,
+    seed: int,
+    scale: float,
+    strategy: PrefetchStrategy,
+    machine: MachineConfig,
+) -> dict[str, Any]:
+    """Run one simulation in a worker process.
+
+    Module-level so :class:`~concurrent.futures.ProcessPoolExecutor`
+    can pickle it.  Returns the metrics as a plain dict (picklable and
+    exactly what the disk cache stores) rather than a
+    :class:`RunMetrics`, keeping the wire format identical for
+    parallel, cached and remote results.
+    """
+    tkey = (workload, restructured, num_cpus, seed, scale)
+    trace = _WORKER_TRACES.get(tkey)
+    if trace is None:
+        trace = generate_workload(
+            workload,
+            num_cpus=num_cpus,
+            seed=seed,
+            scale=scale,
+            restructured=restructured,
+        )
+        _WORKER_TRACES[tkey] = trace
+        while len(_WORKER_TRACES) > _WORKER_TRACE_LIMIT:
+            _WORKER_TRACES.popitem(last=False)
+    else:
+        _WORKER_TRACES.move_to_end(tkey)
+    annotated, _report = insert_prefetches(trace, strategy, machine.cache)
+    label = strategy.name if not restructured else f"{strategy.name}+restructured"
+    result = simulate(annotated, machine, strategy_name=label, sim_config=SimulationConfig())
+    return result.to_dict()
+
+
 class ExperimentRunner:
     """Caching façade over generate → insert → simulate.
 
@@ -69,6 +131,11 @@ class ExperimentRunner:
         seed: workload-generation seed.
         scale: workload work multiplier (trace length knob).
         trace_cache_size: clean traces kept in memory (LRU).
+        max_workers: worker processes for the batch entry points
+            (:meth:`run_many`, :meth:`sweep`, :meth:`compare`).  None,
+            0 or 1 keeps everything serial and in-process (default).
+        disk_cache: directory for the persistent result cache (see
+            :mod:`repro.perf.diskcache`); None disables it.
     """
 
     def __init__(
@@ -77,10 +144,14 @@ class ExperimentRunner:
         seed: int = 42,
         scale: float = 1.0,
         trace_cache_size: int = 3,
+        max_workers: int | None = None,
+        disk_cache: str | Path | None = None,
     ) -> None:
         self.num_cpus = num_cpus
         self.seed = seed
         self.scale = scale
+        self.max_workers = max_workers
+        self.disk_cache = ResultDiskCache(disk_cache) if disk_cache else None
         self._trace_cache: OrderedDict[tuple, MultiTrace] = OrderedDict()
         self._trace_cache_size = trace_cache_size
         self._results: dict[tuple, RunMetrics] = {}
@@ -119,6 +190,58 @@ class ExperimentRunner:
             self.clean_trace(workload, restructured)
         return self._trace_metadata[key]
 
+    # ------------------------------------------------------------ disk cache
+
+    def _cache_payload(
+        self,
+        workload: str,
+        strategy: PrefetchStrategy,
+        machine: MachineConfig,
+        restructured: bool,
+    ) -> dict[str, Any]:
+        """The full simulation input, as hashed into the cache key.
+
+        Every field that can change the result is present -- including
+        ``engine_version``, so behavior-altering engine changes never
+        serve stale entries.
+        """
+        return {
+            "workload": workload,
+            "restructured": restructured,
+            "num_cpus": self.num_cpus,
+            "seed": self.seed,
+            "scale": self.scale,
+            "strategy": asdict(strategy),
+            "machine": machine.describe(),
+            "engine_version": ENGINE_VERSION,
+        }
+
+    def _disk_load(
+        self,
+        workload: str,
+        strategy: PrefetchStrategy,
+        machine: MachineConfig,
+        restructured: bool,
+    ) -> RunMetrics | None:
+        if self.disk_cache is None:
+            return None
+        payload = self._cache_payload(workload, strategy, machine, restructured)
+        data = self.disk_cache.load(content_key(payload))
+        return RunMetrics.from_dict(data) if data is not None else None
+
+    def _disk_store(
+        self,
+        workload: str,
+        strategy: PrefetchStrategy,
+        machine: MachineConfig,
+        restructured: bool,
+        result: RunMetrics,
+    ) -> None:
+        if self.disk_cache is None:
+            return
+        payload = self._cache_payload(workload, strategy, machine, restructured)
+        self.disk_cache.store(content_key(payload), result.to_dict(), payload)
+
     # ----------------------------------------------------------------- runs
 
     def run(
@@ -128,17 +251,90 @@ class ExperimentRunner:
         machine: MachineConfig,
         restructured: bool = False,
     ) -> RunMetrics:
-        """Simulate one configuration (memoised)."""
+        """Simulate one configuration (memoised, disk-cached)."""
         key = (workload, restructured, _strategy_key(strategy), _machine_key(machine))
         cached = self._results.get(key)
         if cached is not None:
             return cached
-        clean = self.clean_trace(workload, restructured)
-        annotated, _report = insert_prefetches(clean, strategy, machine.cache)
-        label = strategy.name if not restructured else f"{strategy.name}+restructured"
-        result = simulate(annotated, machine, strategy_name=label, sim_config=SimulationConfig())
+        result = self._disk_load(workload, strategy, machine, restructured)
+        if result is None:
+            clean = self.clean_trace(workload, restructured)
+            annotated, _report = insert_prefetches(clean, strategy, machine.cache)
+            label = strategy.name if not restructured else f"{strategy.name}+restructured"
+            result = simulate(
+                annotated, machine, strategy_name=label, sim_config=SimulationConfig()
+            )
+            self._disk_store(workload, strategy, machine, restructured, result)
         self._results[key] = result
         return result
+
+    def run_many(
+        self,
+        jobs: list[tuple],
+    ) -> list[RunMetrics]:
+        """Simulate a batch of configurations, in parallel if configured.
+
+        ``jobs`` holds ``(workload, strategy, machine)`` or
+        ``(workload, strategy, machine, restructured)`` tuples.  Memo
+        and disk-cache hits are resolved first; only genuinely new
+        configurations are simulated (each distinct one exactly once,
+        duplicates collapse).  With ``max_workers > 1`` the new work
+        fans out over a process pool; results are returned in **job
+        order** regardless of completion order, and -- simulation being
+        a pure function -- are byte-identical to a serial run.
+        """
+        norm: list[tuple[str, PrefetchStrategy, MachineConfig, bool]] = []
+        for job in jobs:
+            if len(job) == 3:
+                workload, strategy, machine = job
+                restructured = False
+            else:
+                workload, strategy, machine, restructured = job
+            norm.append((workload, strategy, machine, restructured))
+
+        results: list[RunMetrics | None] = [None] * len(norm)
+        todo: dict[tuple, list[int]] = {}
+        for i, (workload, strategy, machine, restructured) in enumerate(norm):
+            key = (workload, restructured, _strategy_key(strategy), _machine_key(machine))
+            cached = self._results.get(key)
+            if cached is None:
+                cached = self._disk_load(workload, strategy, machine, restructured)
+                if cached is not None:
+                    self._results[key] = cached
+            if cached is not None:
+                results[i] = cached
+            else:
+                todo.setdefault(key, []).append(i)
+
+        pending = [(key, norm[indices[0]]) for key, indices in todo.items()]
+        workers = self.max_workers or 1
+        if len(pending) > 1 and workers > 1:
+            with ProcessPoolExecutor(max_workers=min(workers, len(pending))) as pool:
+                futures = [
+                    pool.submit(
+                        _simulate_job,
+                        workload,
+                        restructured,
+                        self.num_cpus,
+                        self.seed,
+                        self.scale,
+                        strategy,
+                        machine,
+                    )
+                    for _key, (workload, strategy, machine, restructured) in pending
+                ]
+                for (key, job), future in zip(pending, futures):
+                    result = RunMetrics.from_dict(future.result())
+                    self._disk_store(*job, result)
+                    self._results[key] = result
+                    for i in todo[key]:
+                        results[i] = result
+        else:
+            for key, (workload, strategy, machine, restructured) in pending:
+                result = self.run(workload, strategy, machine, restructured)
+                for i in todo[key]:
+                    results[i] = result
+        return results
 
     def compare(
         self,
@@ -152,8 +348,12 @@ class ExperimentRunner:
         The baseline shares the restructuring flag: restructured runs are
         compared against the restructured NP run, as in Table 5.
         """
-        baseline = self.run(workload, NP, machine, restructured)
-        run = self.run(workload, strategy, machine, restructured)
+        baseline, run = self.run_many(
+            [
+                (workload, NP, machine, restructured),
+                (workload, strategy, machine, restructured),
+            ]
+        )
         return StrategyResult(run=run, baseline=baseline, comparison=compare_runs(baseline, run))
 
     def sweep(
@@ -167,13 +367,20 @@ class ExperimentRunner:
         """Run strategies across the bus-latency sweep.
 
         Returns ``{transfer_cycles: {strategy_name: RunMetrics}}``.
+        The grid goes through :meth:`run_many`, so a parallel runner
+        simulates its points concurrently.
         """
+        flat = self.run_many(
+            [
+                (workload, s, machine.with_transfer_cycles(cycles), restructured)
+                for cycles in transfer_latencies
+                for s in strategies
+            ]
+        )
         out: dict[int, dict[str, RunMetrics]] = {}
+        it = iter(flat)
         for cycles in transfer_latencies:
-            m = machine.with_transfer_cycles(cycles)
-            out[cycles] = {
-                s.name: self.run(workload, s, m, restructured) for s in strategies
-            }
+            out[cycles] = {s.name: next(it) for s in strategies}
         return out
 
     @property

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -84,6 +85,15 @@ class MissCounts:
         self.inval_false_prefetched += other.inval_false_prefetched
         self.prefetch_in_progress += other.prefetch_in_progress
 
+    def to_dict(self) -> dict[str, int]:
+        """JSON-safe dict of the raw counters (properties are derived)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, int]) -> "MissCounts":
+        """Exact inverse of :meth:`to_dict`."""
+        return cls(**data)
+
 
 @dataclass
 class CpuMetrics:
@@ -139,6 +149,19 @@ class CpuMetrics:
     def utilization(self) -> float:
         """Fraction of this CPU's lifetime spent doing useful work."""
         return self.busy_cycles / self.finish_time if self.finish_time else 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe dict; ``misses`` nested via :meth:`MissCounts.to_dict`."""
+        data = dataclasses.asdict(self)
+        data["misses"] = self.misses.to_dict()
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "CpuMetrics":
+        """Exact inverse of :meth:`to_dict`."""
+        data = dict(data)
+        data["misses"] = MissCounts.from_dict(data["misses"])
+        return cls(**data)
 
 
 @dataclass
@@ -261,6 +284,36 @@ class RunMetrics:
             return 0.0
         return sum(c.busy_cycles for c in self.per_cpu) / (
             self.exec_cycles * len(self.per_cpu)
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """Lossless JSON-safe rendering of the full result.
+
+        Unlike :meth:`describe` (a flat summary of derived rates), this
+        keeps every raw counter so :meth:`from_dict` reconstructs an
+        *equal* object -- the contract the disk cache and the
+        process-parallel runner rely on to make cached/parallel runs
+        indistinguishable from in-process ones.
+        """
+        return {
+            "workload": self.workload,
+            "strategy": self.strategy,
+            "machine": self.machine,
+            "exec_cycles": self.exec_cycles,
+            "per_cpu": [c.to_dict() for c in self.per_cpu],
+            "bus": self.bus.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "RunMetrics":
+        """Exact inverse of :meth:`to_dict`."""
+        return cls(
+            workload=data["workload"],
+            strategy=data["strategy"],
+            machine=data["machine"],
+            exec_cycles=data["exec_cycles"],
+            per_cpu=[CpuMetrics.from_dict(c) for c in data["per_cpu"]],
+            bus=BusStats.from_dict(data["bus"]),
         )
 
     def describe(self) -> dict[str, Any]:

@@ -1,0 +1,12 @@
+"""Performance infrastructure: engine benchmarking and result caching.
+
+* :mod:`repro.perf.bench` -- the calibrated engine micro-benchmark
+  behind ``repro bench`` and the ``BENCH_engine.json`` report;
+* :mod:`repro.perf.diskcache` -- the persistent on-disk simulation
+  result cache used by :class:`repro.experiments.runner.ExperimentRunner`.
+"""
+
+from repro.perf.bench import MicrobenchResult, run_microbench
+from repro.perf.diskcache import ResultDiskCache, content_key
+
+__all__ = ["MicrobenchResult", "ResultDiskCache", "content_key", "run_microbench"]

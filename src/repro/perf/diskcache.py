@@ -1,0 +1,102 @@
+"""Persistent on-disk cache of simulation results.
+
+Every simulation in the reproduction is a pure function of its inputs:
+(workload spec, scale, seed, prefetch strategy, machine config, engine
+version).  The cache keys serialized :class:`~repro.metrics.results.RunMetrics`
+JSON by a SHA-256 content hash of exactly those inputs, so
+
+* re-running a bench session skips every already-simulated grid point,
+* any input change (including :data:`repro.sim.engine.ENGINE_VERSION`,
+  which is bumped whenever simulated behavior changes) produces a new
+  key and never serves stale results,
+* deleting the cache directory (``results/.cache/`` by default) is
+  always safe -- entries are pure derived data.
+
+Writes are atomic (temp file + ``os.replace``) so a crashed or killed
+run can never leave a torn entry; unreadable entries are treated as
+misses and overwritten.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+from pathlib import Path
+from typing import Any
+
+__all__ = ["ResultDiskCache", "content_key"]
+
+
+def content_key(payload: dict[str, Any]) -> str:
+    """SHA-256 hex digest of a canonical JSON rendering of ``payload``.
+
+    The rendering sorts keys and uses compact separators so the digest
+    depends only on content, never on dict insertion order.
+    """
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"), default=str)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class ResultDiskCache:
+    """A directory of ``<key[:2]>/<key>.json`` result entries.
+
+    Args:
+        root: cache directory (created lazily on first store).
+
+    Attributes:
+        hits / misses / stores: per-instance access counters (useful for
+            asserting that a warm bench session re-simulates nothing).
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def load(self, key: str) -> dict[str, Any] | None:
+        """The cached metrics dict for ``key``, or None on a miss.
+
+        A corrupt or truncated entry counts as a miss (it will be
+        re-simulated and overwritten).
+        """
+        path = self._path(key)
+        try:
+            with path.open("r", encoding="utf-8") as fh:
+                entry = json.load(fh)
+            metrics = entry["metrics"]
+        except (OSError, ValueError, KeyError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return metrics
+
+    def store(self, key: str, metrics: dict[str, Any], inputs: dict[str, Any]) -> None:
+        """Atomically persist ``metrics`` under ``key``.
+
+        ``inputs`` (the hashed payload) is stored alongside for
+        debuggability -- entries are self-describing.
+        """
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        entry = {"key": key, "inputs": inputs, "metrics": metrics}
+        with tmp.open("w", encoding="utf-8") as fh:
+            json.dump(entry, fh, sort_keys=True, default=str)
+        os.replace(tmp, path)
+        self.stores += 1
+
+    def clear(self) -> None:
+        """Delete every cached entry (the whole cache directory)."""
+        if self.root.exists():
+            shutil.rmtree(self.root)
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))

@@ -21,7 +21,8 @@ the 16-deep lockup-free prefetch buffer.
 
 from __future__ import annotations
 
-from heapq import heappop, heappush
+from collections import deque
+from heapq import heappop, heappush, heappushpop
 
 from repro.bus.bus import Bus
 from repro.bus.transaction import BusTransaction, TransactionKind
@@ -37,7 +38,14 @@ from repro.sim.sync import BarrierManager, LockManager
 from repro.trace.events import Barrier, LockAcquire, LockRelease, MemRef, Prefetch
 from repro.trace.stream import MultiTrace
 
-__all__ = ["SimulationEngine", "simulate"]
+__all__ = ["ENGINE_VERSION", "SimulationEngine", "simulate"]
+
+#: Bumped whenever a change alters *simulated behavior* (cycle counts,
+#: miss classification, event ordering).  Pure-speed changes that keep
+#: results bit-identical must NOT bump it: the tag is part of the disk
+#: result-cache key (:mod:`repro.perf.diskcache`), so bumping it
+#: invalidates every cached simulation result.
+ENGINE_VERSION = "1"
 
 # Event kinds on the heap (ordering within a timestamp is by push sequence).
 _EV_CPU = 0
@@ -91,7 +99,7 @@ class SimulationEngine:
         self._heap: list[tuple[int, int, int, int, int]] = []
         self._seq = 0
         self._arb_time: int | None = None
-        self._pfbuf_waiters: list[int] = []
+        self._pfbuf_waiters: deque[int] = deque()
         self._done_count = 0
         self.now = 0
         #: (cpu, event-index) of every classified demand miss, recorded
@@ -101,31 +109,187 @@ class SimulationEngine:
         self._block_mask = ~(machine.cache.block_size - 1)
         self._block_size = machine.cache.block_size
         self._issue_cost = machine.prefetch.issue_cost
+        #: Memo of word_mask_for results keyed by (addr, size); traces
+        #: revisit the same addresses constantly and the function is pure.
+        self._wm_cache: dict[tuple[int, int], int] = {}
+        #: needs_upgrade[state] per LineState value, precomputed so the
+        #: fast path avoids a protocol method call per write hit.
+        self._needs_upgrade = tuple(
+            state.is_valid and self.protocol.write_hit_needs_upgrade(state)
+            for state in LineState
+        )
+        #: Every cache but cpu i's, for the remote-write classifier loop.
+        self._remote_caches = [
+            tuple(p.cache for p in self.procs if p.cpu != i)
+            for i in range(machine.num_cpus)
+        ]
 
     # ------------------------------------------------------------- main loop
 
     def run(self) -> None:
-        """Execute the whole trace; raises on deadlock or runaway clocks."""
+        """Execute the whole trace; raises on deadlock or runaway clocks.
+
+        The CPU-event handler is inlined here as a *hit-streak fast
+        path*: a CPU whose next event time is strictly earlier than the
+        heap head (``heap[0][0]``) would be popped next with nothing in
+        between, so its gap + cache-hit ``MemRef`` events retire right
+        in the loop -- no ``_schedule_cpu`` heappush, no
+        ``begin_access`` bookkeeping, no ``LookupResult`` allocation.
+        The streak ends (falling back to the generic ``_dispatch`` /
+        ``_try_access`` handlers, or to the heap) the moment it sees
+
+        * a non-``MemRef`` event (prefetch, lock, barrier),
+        * an in-flight fill for the block, an invalid/absent line
+          (miss), a victim-cache candidate, or a write hit needing an
+          UPGRADE, or
+        * a continuation time that is not strictly earlier than the
+          heap head (a same/earlier-timestamped foreign event exists).
+
+        Side effects on the inline path replicate the generic handlers
+        bit for bit, and the strict ``< heap[0][0]`` guard preserves
+        the global event order (ties run in push order, and a deferred
+        push lands exactly where the generic push would -- the
+        continuation is handed to ``heappushpop``, which is push-then-
+        pop fused into one sift), so simulated behavior -- cycle
+        counts, coherence traffic, classification -- is identical to
+        the pure-heap engine.
+        """
         for proc in self.procs:
             self._push(_EV_CPU, 0, proc.cpu, 0)
             proc.scheduled = True
 
         heap = self._heap
+        procs = self.procs
         max_cycles = self.sim_config.max_cycles
-        while heap:
-            time, _, kind, a, b = heappop(heap)
+        block_mask = self._block_mask
+        block_size = self._block_size
+        wm_cache = self._wm_cache
+        needs_upgrade = self._needs_upgrade
+        invalid = LineState.INVALID
+        modified = LineState.MODIFIED
+        # Per-CPU hot context: one list index + tuple unpack per popped
+        # CPU event instead of seven attribute chains.
+        ctx = [
+            (
+                proc,
+                proc.events,
+                len(proc.events),
+                proc.metrics,
+                proc.mshr._fills,
+                proc.cache._by_block,
+                self._remote_caches[proc.cpu],
+            )
+            for proc in procs
+        ]
+        pending: tuple[int, int, int, int, int] | None = None
+        while True:
+            if pending is not None:
+                item = heappushpop(heap, pending)
+                pending = None
+            elif heap:
+                item = heappop(heap)
+            else:
+                break
+            time, _, kind, a, b = item
             if time > max_cycles:
                 raise SimulationError(
                     f"simulated clock exceeded max_cycles={max_cycles}; likely a deadlock bug"
                 )
             self.now = time
-            if kind == _EV_CPU:
-                self.procs[a].scheduled = False
-                self._cpu_tick(self.procs[a], time)
-            elif kind == _EV_ARB:
-                self._arb_tick(time)
-            else:  # _EV_FILLDONE
-                self._fill_done(self.procs[a], b, time)
+            if kind != _EV_CPU:
+                if kind == _EV_ARB:
+                    self._arb_tick(time)
+                else:  # _EV_FILLDONE
+                    self._fill_done(procs[a], b, time)
+                continue
+            proc, events, num_events, metrics, mshr_fills, by_block, remote_caches = ctx[a]
+            proc.scheduled = False
+            now = time
+            while True:  # ---------------- hit-streak fast path ----------------
+                if proc.in_access:
+                    self._try_access(proc, now)
+                    break
+                pc = proc.pc
+                if pc >= num_events:
+                    self._dispatch(proc, now)  # retires the CPU
+                    break
+                event = events[pc]
+                if type(event) is not MemRef:
+                    self._dispatch(proc, now)
+                    break
+                if not proc.gap_done and event.gap > 0:
+                    gap = event.gap
+                    proc.gap_done = True
+                    metrics.busy_cycles += gap
+                    t = now + gap
+                    if heap and heap[0][0] <= t:
+                        # Deferred push == what _schedule_cpu would do;
+                        # handed to heappushpop at the top of the loop.
+                        proc.scheduled = True
+                        self._seq = seq = self._seq + 1
+                        pending = (t, seq, _EV_CPU, a, 0)
+                        break
+                    if t > max_cycles:
+                        raise SimulationError(
+                            f"simulated clock exceeded max_cycles={max_cycles}; "
+                            f"likely a deadlock bug"
+                        )
+                    now = t
+                    self.now = t
+                addr = event.addr
+                block = addr & block_mask
+                frame = by_block.get(block)
+                if (
+                    frame is None
+                    or frame.state is invalid
+                    or block in mshr_fills
+                ):
+                    # Miss, victim-cache candidate, or in-flight fill:
+                    # the generic path classifies and stalls.  Nothing
+                    # has been touched yet, so the hand-off is exact.
+                    self._dispatch(proc, now)
+                    break
+                is_write = event.is_write
+                if is_write and needs_upgrade[frame.state]:
+                    self._dispatch(proc, now)
+                    break
+                size = event.size
+                mask = wm_cache.get((addr, size))
+                if mask is None:
+                    mask = word_mask_for(addr, size, block_size)
+                    wm_cache[(addr, size)] = mask
+                # Plain hit: replicate lookup_demand + record_access +
+                # _complete_access("retire") for the hit case.
+                if is_write:
+                    frame.state = modified
+                    for cache in remote_caches:
+                        # Inlined CoherentCache.note_remote_write.
+                        rframe = cache._by_block.get(block)
+                        if rframe is not None:
+                            if rframe.state is invalid:
+                                rframe.remote_written |= mask
+                        elif cache.victim.capacity:
+                            cache.victim.note_remote_write(block, mask)
+                frame.words_accessed |= mask
+                frame.filled_by_prefetch = False
+                frame.last_use = now
+                metrics.busy_cycles += 1
+                metrics.demand_refs += 1
+                proc.pc = pc + 1
+                proc.gap_done = False
+                t = now + 1
+                if heap and heap[0][0] <= t:
+                    proc.scheduled = True
+                    self._seq = seq = self._seq + 1
+                    pending = (t, seq, _EV_CPU, a, 0)
+                    break
+                if t > max_cycles:
+                    raise SimulationError(
+                        f"simulated clock exceeded max_cycles={max_cycles}; "
+                        f"likely a deadlock bug"
+                    )
+                now = t
+                self.now = t
 
         if self._done_count != len(self.procs):
             states = {p.cpu: p.status.name for p in self.procs if not p.done}
@@ -163,6 +327,14 @@ class SimulationEngine:
         proc.status = CpuStatus.RUNNING
         self._push(_EV_CPU, time, proc.cpu, 0)
 
+    def _word_mask(self, addr: int, size: int) -> int:
+        """Memoised :func:`word_mask_for` (pure; traces repeat addresses)."""
+        mask = self._wm_cache.get((addr, size))
+        if mask is None:
+            mask = word_mask_for(addr, size, self._block_size)
+            self._wm_cache[(addr, size)] = mask
+        return mask
+
     def _schedule_arb(self) -> None:
         t = self.bus.next_arbitration_time(self.now)
         if t is None:
@@ -175,12 +347,6 @@ class SimulationEngine:
             self._push(_EV_ARB, t, 0, 0)
 
     # -------------------------------------------------------------- CPU side
-
-    def _cpu_tick(self, proc: Processor, now: int) -> None:
-        if proc.in_access:
-            self._try_access(proc, now)
-            return
-        self._dispatch(proc, now)
 
     def _dispatch(self, proc: Processor, now: int) -> None:
         events = proc.events
@@ -204,7 +370,7 @@ class SimulationEngine:
                 addr=event.addr,
                 block=event.addr & self._block_mask,
                 is_write=event.is_write,
-                word_mask=word_mask_for(event.addr, event.size, self._block_size),
+                word_mask=self._word_mask(event.addr, event.size),
                 cont="retire",
                 now=now,
                 sync=False,
@@ -220,7 +386,7 @@ class SimulationEngine:
                     addr=event.addr,
                     block=event.addr & self._block_mask,
                     is_write=True,
-                    word_mask=word_mask_for(event.addr, 4, self._block_size),
+                    word_mask=self._word_mask(event.addr, 4),
                     cont="retire",
                     now=now,
                     sync=True,
@@ -235,7 +401,7 @@ class SimulationEngine:
                 addr=event.addr,
                 block=event.addr & self._block_mask,
                 is_write=True,
-                word_mask=word_mask_for(event.addr, 4, self._block_size),
+                word_mask=self._word_mask(event.addr, 4),
                 cont="release",
                 now=now,
                 sync=True,
@@ -247,7 +413,7 @@ class SimulationEngine:
                 addr=event.addr,
                 block=event.addr & self._block_mask,
                 is_write=True,
-                word_mask=word_mask_for(event.addr, 4, self._block_size),
+                word_mask=self._word_mask(event.addr, 4),
                 cont="barrier",
                 now=now,
                 sync=True,
@@ -281,7 +447,7 @@ class SimulationEngine:
         metrics.prefetches_issued += 1
         metrics.prefetch_fills += 1
         metrics.busy_cycles += self._issue_cost
-        intended = word_mask_for(event.addr, 4, self._block_size)
+        intended = self._word_mask(event.addr, 4)
         proc.mshr.start(block, is_prefetch=True, exclusive=event.exclusive, intended_word_mask=intended)
         txn = self.bus.make_fill(
             proc.cpu,
@@ -350,7 +516,7 @@ class SimulationEngine:
             if proc.acc_write:
                 proc.cache.set_state(block, LineState.MODIFIED)
                 if not proc.acc_sync:
-                    self._note_remote_write(proc, block)
+                    self._note_remote_write(proc, block, proc.acc_word_mask)
             proc.cache.record_access(block, proc.acc_word_mask, now)
             cost = 1 + (_VICTIM_SWAP_CYCLES if result.victim_hit else 0)
             metrics.busy_cycles += cost
@@ -518,7 +684,7 @@ class SimulationEngine:
         if proc.cache.state_of(txn.block).is_valid:
             proc.cache.set_state(txn.block, LineState.MODIFIED)
             if not proc.acc_sync:
-                self._note_remote_write(proc, txn.block)
+                self._note_remote_write(proc, txn.block, proc.acc_word_mask)
             proc.cache.record_access(txn.block, proc.acc_word_mask, now)
             proc.metrics.busy_cycles += 1
             proc.waiting_block = -1
@@ -531,14 +697,12 @@ class SimulationEngine:
             proc.waiting_block = -1
             self._schedule_cpu(proc, txn.completion_time)
 
-    def _note_remote_write(self, writer: Processor, block: int) -> None:
+    def _note_remote_write(self, writer: Processor, block: int, mask: int) -> None:
         """Report a completed demand write to every other cache's
         false-sharing bookkeeping (trace-driven: even silent write hits
         are visible to the classifier, as in Charlie)."""
-        mask = writer.acc_word_mask
-        for other in self.procs:
-            if other is not writer:
-                other.cache.note_remote_write(block, mask)
+        for cache in self._remote_caches[writer.cpu]:
+            cache.note_remote_write(block, mask)
 
     def _fill_done(self, proc: Processor, block: int, time: int) -> None:
         fill = proc.mshr.finish(block)
@@ -553,7 +717,7 @@ class SimulationEngine:
             self._schedule_arb()
 
         if fill.is_prefetch and self._pfbuf_waiters:
-            waiter = self._pfbuf_waiters.pop(0)
+            waiter = self._pfbuf_waiters.popleft()
             self._schedule_cpu(self.procs[waiter], time)
 
         if proc.status is CpuStatus.STALLED_FILL and proc.waiting_block == block:
@@ -567,7 +731,7 @@ class SimulationEngine:
                 proc.metrics.busy_cycles += 1
                 proc.cache.record_access(block, proc.acc_word_mask, time)
                 if proc.acc_write and not proc.acc_sync:
-                    self._note_remote_write(proc, block)
+                    self._note_remote_write(proc, block, proc.acc_word_mask)
                 self._complete_access(proc, time + 1)
             else:
                 # Complete the access *inline*, before any same-timestamp

@@ -1,0 +1,263 @@
+"""Performance infrastructure: serialization, disk cache, parallel
+runner, bench harness -- and golden metrics pinning the engine fast path.
+
+The hit-streak fast path in :mod:`repro.sim.engine` must be *bit-
+identical* to the generic heap path.  The golden-metrics test freezes
+complete result fingerprints for representative configurations; any
+drift in event ordering or hit-path side effects shows up here before
+it corrupts the paper tables.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bus.bus import BusStats
+from repro.bus.transaction import TransactionKind
+from repro.common.config import MachineConfig
+from repro.experiments.runner import ExperimentRunner
+from repro.metrics.results import CpuMetrics, MissCounts, RunMetrics
+from repro.perf.bench import (
+    MicrobenchResult,
+    check_regression,
+    load_report,
+    run_microbench,
+    update_report,
+)
+from repro.perf.diskcache import ResultDiskCache, content_key
+from repro.prefetch.strategies import EXCL, NP, PREF, PWS
+from repro.sim.engine import ENGINE_VERSION
+
+
+# ------------------------------------------------------- golden fast path
+
+
+class TestFastPathGoldens:
+    """Frozen metrics for the hit-streak fast path (4 CPUs, Water 0.2).
+
+    Values were produced by the generic-path engine and must never
+    change: the fast path's contract is bit-identical simulated
+    behavior.  NP exercises pure demand streams, PWS adds prefetches +
+    upgrades, EXCL adds exclusive-mode prefetches.
+    """
+
+    #: strategy -> (exec_cycles, demand_refs, cpu_misses, false_sharing,
+    #:              bus_busy, bus_ops, prefetches_issued, upgrades)
+    GOLDEN = {
+        "NP": (30195, 14468, 452, 0, 3938, 613, 0, 138),
+        "PWS": (19782, 14468, 111, 1, 3982, 622, 622, 142),
+        "EXCL": (21513, 14468, 178, 0, 3969, 616, 371, 137),
+    }
+
+    @pytest.fixture(scope="class")
+    def runner(self):
+        return ExperimentRunner(num_cpus=4, seed=42, scale=0.2)
+
+    @pytest.mark.parametrize("strategy", [NP, PWS, EXCL], ids=lambda s: s.name)
+    def test_golden_metrics(self, runner, strategy):
+        result = runner.run("Water", strategy, MachineConfig(num_cpus=4))
+        mc = result.miss_counts
+        observed = (
+            result.exec_cycles,
+            result.demand_refs,
+            mc.cpu_misses,
+            mc.false_sharing,
+            result.bus.busy_cycles,
+            result.bus.total_ops,
+            result.prefetches_issued,
+            result.upgrades,
+        )
+        assert observed == self.GOLDEN[strategy.name]
+
+
+# ---------------------------------------------------------- serialization
+
+
+def _one_result(**kwargs) -> RunMetrics:
+    runner = ExperimentRunner(num_cpus=4, seed=7, scale=0.1)
+    return runner.run(
+        kwargs.pop("workload", "Mp3d"),
+        kwargs.pop("strategy", PWS),
+        kwargs.pop("machine", MachineConfig(num_cpus=4)),
+    )
+
+
+class TestSerialization:
+    def test_miss_counts_round_trip(self):
+        mc = MissCounts(1, 2, 3, 4, 5, 6, 7)
+        assert MissCounts.from_dict(mc.to_dict()) == mc
+
+    def test_bus_stats_round_trip(self):
+        stats = BusStats(busy_cycles=99, demand_ops=5, prefetch_ops=2, total_wait_cycles=17)
+        stats.ops_by_kind[TransactionKind.FILL] = 4
+        stats.ops_by_kind[TransactionKind.UPGRADE] = 3
+        restored = BusStats.from_dict(stats.to_dict())
+        assert restored == stats
+        # enum keys survive the name-keyed JSON rendering
+        assert TransactionKind.UPGRADE in restored.ops_by_kind
+
+    def test_cpu_metrics_round_trip(self):
+        cm = CpuMetrics(cpu=3, demand_refs=100, misses=MissCounts(1, 0, 2, 0, 3, 0, 1))
+        assert CpuMetrics.from_dict(cm.to_dict()) == cm
+
+    def test_run_metrics_exact_round_trip_through_json(self):
+        """A real simulation result survives to_dict -> JSON -> from_dict
+        with dataclass equality -- the contract the disk cache and the
+        process pool rely on."""
+        result = _one_result()
+        data = json.loads(json.dumps(result.to_dict()))
+        restored = RunMetrics.from_dict(data)
+        assert restored == result
+        # and the derived rates (computed, not stored) agree too
+        assert restored.describe() == result.describe()
+
+
+# ------------------------------------------------------------- disk cache
+
+
+class TestDiskCache:
+    def test_content_key_is_order_independent(self):
+        a = content_key({"x": 1, "y": [1, 2]})
+        b = content_key({"y": [1, 2], "x": 1})
+        assert a == b and len(a) == 64
+
+    def test_content_key_separates_inputs(self):
+        base = {"workload": "Water", "seed": 42, "engine_version": ENGINE_VERSION}
+        assert content_key(base) != content_key({**base, "seed": 43})
+        assert content_key(base) != content_key({**base, "engine_version": "2"})
+
+    def test_store_load_round_trip(self, tmp_path):
+        cache = ResultDiskCache(tmp_path / "c")
+        key = content_key({"k": 1})
+        assert cache.load(key) is None
+        cache.store(key, {"metric": 3}, {"k": 1})
+        assert cache.load(key) == {"metric": 3}
+        assert (cache.hits, cache.misses, cache.stores) == (1, 1, 1)
+        assert len(cache) == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultDiskCache(tmp_path / "c")
+        key = content_key({"k": 2})
+        cache.store(key, {"metric": 1}, {"k": 2})
+        cache._path(key).write_text("{torn", encoding="utf-8")
+        assert cache.load(key) is None
+
+    def test_warm_runner_resimulates_nothing(self, tmp_path):
+        """A fresh runner over a warm cache serves every grid point from
+        disk: zero stores, byte-identical results."""
+        machine = MachineConfig(num_cpus=4)
+        jobs = [
+            ("Water", NP, machine),
+            ("Water", PREF, machine),
+            ("Mp3d", NP, machine),
+            ("Mp3d", PREF, machine),
+        ]
+        cold = ExperimentRunner(num_cpus=4, scale=0.1, disk_cache=tmp_path / "c")
+        first = cold.run_many(jobs)
+        assert cold.disk_cache.stores == len(jobs)
+
+        warm = ExperimentRunner(num_cpus=4, scale=0.1, disk_cache=tmp_path / "c")
+        second = warm.run_many(jobs)
+        assert warm.disk_cache.hits == len(jobs)
+        assert warm.disk_cache.stores == 0
+        assert json.dumps([r.to_dict() for r in first], sort_keys=True) == json.dumps(
+            [r.to_dict() for r in second], sort_keys=True
+        )
+
+    def test_engine_version_partitions_the_cache(self, tmp_path):
+        runner = ExperimentRunner(num_cpus=4, scale=0.1, disk_cache=tmp_path / "c")
+        payload = runner._cache_payload("Water", NP, MachineConfig(num_cpus=4), False)
+        assert payload["engine_version"] == ENGINE_VERSION
+        bumped = {**payload, "engine_version": payload["engine_version"] + "-next"}
+        assert content_key(payload) != content_key(bumped)
+
+
+# -------------------------------------------------------- parallel runner
+
+
+class TestParallelRunner:
+    def test_parallel_matches_serial_byte_for_byte(self, tmp_path):
+        """The 2x2 mini-grid simulated through the process pool is
+        byte-identical to the serial in-process run."""
+        machine = MachineConfig(num_cpus=4)
+        jobs = [
+            ("Water", NP, machine),
+            ("Water", PREF, machine),
+            ("Mp3d", NP, machine),
+            ("Mp3d", PREF, machine),
+        ]
+        serial = ExperimentRunner(num_cpus=4, scale=0.1).run_many(jobs)
+        parallel = ExperimentRunner(num_cpus=4, scale=0.1, max_workers=2).run_many(jobs)
+        assert json.dumps([r.to_dict() for r in serial], sort_keys=True) == json.dumps(
+            [r.to_dict() for r in parallel], sort_keys=True
+        )
+
+    def test_run_many_collapses_duplicates_and_keeps_order(self):
+        machine = MachineConfig(num_cpus=4)
+        runner = ExperimentRunner(num_cpus=4, scale=0.1)
+        results = runner.run_many(
+            [("Water", NP, machine), ("Water", NP, machine), ("Water", PREF, machine)]
+        )
+        assert results[0] is results[1]
+        assert runner.cached_run_count == 2
+        assert results[2].strategy == "PREF"
+
+    def test_compare_and_sweep_route_through_batches(self):
+        runner = ExperimentRunner(num_cpus=4, scale=0.1)
+        bundle = runner.compare("Water", PREF, MachineConfig(num_cpus=4))
+        assert bundle.baseline.strategy == "NP"
+        swept = runner.sweep(
+            "Water", (NP, PREF), MachineConfig(num_cpus=4), transfer_latencies=(4, 8)
+        )
+        assert set(swept) == {4, 8}
+        assert set(swept[4]) == {"NP", "PREF"}
+
+
+# -------------------------------------------------------------- benchmark
+
+
+class TestBench:
+    def test_run_microbench_small(self):
+        r = run_microbench(
+            workload="Water", num_cpus=2, scale=0.05, min_seconds=0.0, max_runs=1
+        )
+        assert r.events > 0
+        assert r.events_per_sec > 0
+        assert r.runs == 1
+        assert r.engine_version == ENGINE_VERSION
+
+    def test_update_report_preserves_baseline(self, tmp_path):
+        path = tmp_path / "bench.json"
+        first = MicrobenchResult("Water", 2, 0.05, 42, 1000, 1, 0.01, 100000.0, "1")
+        update_report(first, path)
+        report = load_report(path)
+        assert report["baseline"]["events_per_sec"] == 100000.0
+
+        second = MicrobenchResult("Water", 2, 0.05, 42, 1000, 1, 0.005, 200000.0, "1")
+        report = update_report(second, path)
+        assert report["baseline"]["events_per_sec"] == 100000.0  # untouched
+        assert report["current"]["events_per_sec"] == 200000.0
+        assert report["current"]["speedup_vs_baseline"] == 2.0
+
+    def test_check_regression(self):
+        report = {"current": {"events_per_sec": 100000.0}}
+        ok, ref, ratio = check_regression(90000.0, report, tolerance=0.3)
+        assert ok and ref == 100000.0 and ratio == pytest.approx(0.9)
+        ok, _, _ = check_regression(60000.0, report, tolerance=0.3)
+        assert not ok
+        # no report -> vacuous pass
+        assert check_regression(1.0, None) == (True, None, None)
+
+    def test_cli_bench_update_and_check(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = str(tmp_path / "bench.json")
+        args = ["bench", "--quick", "--cpus", "2", "--scale", "0.05", "--file", path]
+        assert main(args + ["--update"]) == 0
+        assert load_report(path)["current"]["events_per_sec"] > 0
+        # immediate re-check against the measurement we just took passes
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "regression check" in out
