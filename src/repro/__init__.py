@@ -20,6 +20,7 @@ Quickstart::
     print(result.run.cpu_miss_rate, result.comparison.speedup)
 """
 
+from repro.audit.report import AuditReport, AuditViolation
 from repro.common.config import (
     BusConfig,
     CacheConfig,
@@ -65,6 +66,8 @@ __version__ = "1.0.0"
 __all__ = [
     "ALL_STRATEGIES",
     "ALL_WORKLOAD_NAMES",
+    "AuditReport",
+    "AuditViolation",
     "BusConfig",
     "CacheConfig",
     "ConfigurationError",

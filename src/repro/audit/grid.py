@@ -1,0 +1,245 @@
+"""The 252-configuration audited verification grid.
+
+The grid crosses every axis that reaches a distinct engine code path:
+
+* 7 workload variants -- the five paper workloads plus the two
+  restructured variants (Topopt, Pverify; section 4.4);
+* 6 prefetch strategies -- NP, PREF, EXCL, LPD, PWS and the PBUF
+  extension (private-only prefetching);
+* 2 data-bus transfer latencies -- 4 (bandwidth-rich) and 16
+  (contended), bracketing the paper's sweep;
+* 3 machine variants -- the default Illinois machine, a 4-line victim
+  cache, and the MSI protocol ablation.
+
+7 x 6 x 2 x 3 = 252 points, matching the differential grid that
+validated the PR 1 fast path.  ``repro audit`` sweeps it with
+``SimulationConfig.audit`` enabled and fails on any violation.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+
+from repro.audit.report import AuditReport
+from repro.common.config import BusConfig, CacheConfig, MachineConfig, SimulationConfig
+from repro.prefetch.insertion import insert_prefetches
+from repro.prefetch.strategies import strategy_by_name
+from repro.sim.engine import simulate
+from repro.trace.stream import MultiTrace
+from repro.workloads.registry import (
+    ALL_WORKLOAD_NAMES,
+    RESTRUCTURABLE_WORKLOAD_NAMES,
+    generate_workload,
+)
+
+__all__ = [
+    "GRID_MACHINE_VARIANTS",
+    "GRID_STRATEGY_NAMES",
+    "GRID_TRANSFER_LATENCIES",
+    "GridPoint",
+    "PointOutcome",
+    "audit_grid",
+    "machine_for",
+    "quick_grid",
+    "verification_grid",
+]
+
+#: Strategy axis (the five paper disciplines plus the PBUF extension).
+GRID_STRATEGY_NAMES: tuple[str, ...] = ("NP", "PREF", "EXCL", "LPD", "PWS", "PBUF")
+
+#: Transfer-latency axis (cycles of contended data-bus occupancy).
+GRID_TRANSFER_LATENCIES: tuple[int, ...] = (4, 16)
+
+#: Machine-variant axis.
+GRID_MACHINE_VARIANTS: tuple[str, ...] = ("illinois", "victim", "msi")
+
+#: Victim-cache lines used by the "victim" machine variant.
+_VICTIM_LINES = 4
+
+
+@dataclass(frozen=True)
+class GridPoint:
+    """One audited configuration."""
+
+    workload: str
+    restructured: bool
+    strategy: str
+    machine_variant: str
+    transfer_cycles: int
+
+    @property
+    def label(self) -> str:
+        """Compact unique label (progress lines, violation reports)."""
+        workload = self.workload + ("+R" if self.restructured else "")
+        return (
+            f"{workload}/{self.strategy}/{self.machine_variant}"
+            f"/t{self.transfer_cycles}"
+        )
+
+
+@dataclass
+class PointOutcome:
+    """Audit result of one grid point."""
+
+    point: GridPoint
+    report: AuditReport
+    exec_cycles: int
+
+    @property
+    def passed(self) -> bool:
+        """True when the point's audit found no violation."""
+        return self.report.passed
+
+
+def machine_for(point: GridPoint, num_cpus: int) -> MachineConfig:
+    """The :class:`MachineConfig` a grid point runs on."""
+    cache = CacheConfig(
+        victim_cache_lines=_VICTIM_LINES if point.machine_variant == "victim" else 0
+    )
+    protocol = "msi" if point.machine_variant == "msi" else "illinois"
+    return MachineConfig(
+        num_cpus=num_cpus,
+        cache=cache,
+        bus=BusConfig(transfer_cycles=point.transfer_cycles),
+        protocol=protocol,
+    )
+
+
+def _workload_variants() -> tuple[tuple[str, bool], ...]:
+    base = tuple((name, False) for name in ALL_WORKLOAD_NAMES)
+    restructured = tuple((name, True) for name in RESTRUCTURABLE_WORKLOAD_NAMES)
+    return base + restructured
+
+
+def verification_grid() -> tuple[GridPoint, ...]:
+    """All 252 points, grouped by workload variant (trace-cache friendly)."""
+    return tuple(
+        GridPoint(workload, restructured, strategy, variant, cycles)
+        for workload, restructured in _workload_variants()
+        for strategy in GRID_STRATEGY_NAMES
+        for cycles in GRID_TRANSFER_LATENCIES
+        for variant in GRID_MACHINE_VARIANTS
+    )
+
+
+def quick_grid() -> tuple[GridPoint, ...]:
+    """An 18-point CI-smoke subset covering every axis value.
+
+    Two workloads (one restructured), three strategies spanning
+    {none, shared-mode, exclusive-mode} prefetching, both latencies and
+    all three machine variants appear at least once.
+    """
+    return tuple(
+        GridPoint(workload, restructured, strategy, variant, cycles)
+        for workload, restructured in (("Water", False), ("Pverify", True))
+        for strategy in ("NP", "PWS", "EXCL")
+        for cycles, variant in (
+            (4, "illinois"),
+            (16, "victim"),
+            (16, "msi"),
+        )
+    )
+
+
+# --------------------------------------------------------------- execution
+
+#: Per-process clean-trace LRU (grid points for one workload variant are
+#: contiguous, so two entries cover serial runs and chunked workers).
+_TRACE_CACHE: OrderedDict[tuple, MultiTrace] = OrderedDict()
+_TRACE_CACHE_LIMIT = 2
+
+
+def _clean_trace(
+    workload: str, restructured: bool, num_cpus: int, seed: int, scale: float
+) -> MultiTrace:
+    key = (workload, restructured, num_cpus, seed, scale)
+    trace = _TRACE_CACHE.get(key)
+    if trace is None:
+        trace = generate_workload(
+            workload,
+            num_cpus=num_cpus,
+            seed=seed,
+            scale=scale,
+            restructured=restructured,
+        )
+        _TRACE_CACHE[key] = trace
+        while len(_TRACE_CACHE) > _TRACE_CACHE_LIMIT:
+            _TRACE_CACHE.popitem(last=False)
+    else:
+        _TRACE_CACHE.move_to_end(key)
+    return trace
+
+
+def run_point(
+    point: GridPoint, num_cpus: int, seed: int, scale: float
+) -> PointOutcome:
+    """Simulate one grid point with audits enabled."""
+    trace = _clean_trace(point.workload, point.restructured, num_cpus, seed, scale)
+    machine = machine_for(point, num_cpus)
+    annotated, _report = insert_prefetches(
+        trace, strategy_by_name(point.strategy), machine.cache
+    )
+    result = simulate(
+        annotated,
+        machine,
+        strategy_name=point.strategy,
+        sim_config=SimulationConfig(audit=True),
+    )
+    assert result.audit is not None  # audit=True guarantees a report
+    return PointOutcome(point=point, report=result.audit, exec_cycles=result.exec_cycles)
+
+
+def _run_point_job(
+    point: GridPoint, num_cpus: int, seed: int, scale: float
+) -> dict[str, Any]:
+    """Picklable worker wrapper returning a plain dict."""
+    outcome = run_point(point, num_cpus, seed, scale)
+    return {
+        "point": point,
+        "report": outcome.report.to_dict(),
+        "exec_cycles": outcome.exec_cycles,
+    }
+
+
+def audit_grid(
+    points: Iterable[GridPoint],
+    num_cpus: int = 4,
+    seed: int = 42,
+    scale: float = 0.2,
+    workers: int = 0,
+    progress: Callable[[PointOutcome], None] | None = None,
+) -> list[PointOutcome]:
+    """Run audited simulations for ``points``; outcomes in point order.
+
+    ``workers > 1`` fans the points over a process pool (results still
+    come back in order); ``progress`` is called once per completed
+    point.
+    """
+    points = list(points)
+    outcomes: list[PointOutcome] = []
+    if workers and workers > 1 and len(points) > 1:
+        with ProcessPoolExecutor(max_workers=min(workers, len(points))) as pool:
+            futures = [
+                pool.submit(_run_point_job, point, num_cpus, seed, scale)
+                for point in points
+            ]
+            for future in futures:
+                data = future.result()
+                outcome = PointOutcome(
+                    point=data["point"],
+                    report=AuditReport.from_dict(data["report"]),
+                    exec_cycles=data["exec_cycles"],
+                )
+                outcomes.append(outcome)
+                if progress is not None:
+                    progress(outcome)
+    else:
+        for point in points:
+            outcome = run_point(point, num_cpus, seed, scale)
+            outcomes.append(outcome)
+            if progress is not None:
+                progress(outcome)
+    return outcomes

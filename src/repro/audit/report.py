@@ -1,0 +1,117 @@
+"""Audit result containers.
+
+An :class:`AuditReport` is attached to
+:class:`~repro.metrics.results.RunMetrics` when a run executes with
+``SimulationConfig.audit`` set.  It records how many times each check
+ran (so a silently-never-invoked check is visible) and every violation
+found, capped at :data:`MAX_VIOLATIONS` per run to keep pathological
+runs bounded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["AuditReport", "AuditViolation", "MAX_VIOLATIONS"]
+
+#: Violations recorded per run before further ones are only counted.
+MAX_VIOLATIONS = 50
+
+
+@dataclass(frozen=True)
+class AuditViolation:
+    """One invariant breach observed during a run.
+
+    Attributes:
+        check: dotted check name (``coherence.*`` / ``structural.*`` /
+            ``conservation.*``).
+        time: simulated cycle at which the breach was observed (end-of-
+            run checks report the final clock).
+        detail: human-readable description of the observed state.
+        cpu: processor involved, or -1 when not CPU-specific.
+        block: block address involved, or -1 when not block-specific.
+    """
+
+    check: str
+    time: int
+    detail: str
+    cpu: int = -1
+    block: int = -1
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe rendering."""
+        return {
+            "check": self.check,
+            "time": self.time,
+            "detail": self.detail,
+            "cpu": self.cpu,
+            "block": self.block,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "AuditViolation":
+        """Exact inverse of :meth:`to_dict`."""
+        return cls(**data)
+
+    def __str__(self) -> str:
+        where = f" cpu={self.cpu}" if self.cpu >= 0 else ""
+        if self.block >= 0:
+            where += f" block={self.block:#x}"
+        return f"[{self.check}] t={self.time}{where}: {self.detail}"
+
+
+@dataclass
+class AuditReport:
+    """Outcome of one audited run.
+
+    Attributes:
+        checks_run: invocation count per check name.
+        violations: recorded breaches (capped at :data:`MAX_VIOLATIONS`).
+        truncated: violations observed beyond the cap (count only).
+    """
+
+    checks_run: dict[str, int] = field(default_factory=dict)
+    violations: list[AuditViolation] = field(default_factory=list)
+    truncated: int = 0
+
+    @property
+    def passed(self) -> bool:
+        """True when no violation was observed."""
+        return not self.violations and self.truncated == 0
+
+    @property
+    def total_violations(self) -> int:
+        """All observed violations, including uncaptured ones."""
+        return len(self.violations) + self.truncated
+
+    @property
+    def total_checks(self) -> int:
+        """Total check invocations across all check names."""
+        return sum(self.checks_run.values())
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe rendering (inverse: :meth:`from_dict`)."""
+        return {
+            "checks_run": dict(self.checks_run),
+            "violations": [v.to_dict() for v in self.violations],
+            "truncated": self.truncated,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "AuditReport":
+        """Exact inverse of :meth:`to_dict`."""
+        return cls(
+            checks_run=dict(data["checks_run"]),
+            violations=[AuditViolation.from_dict(v) for v in data["violations"]],
+            truncated=data["truncated"],
+        )
+
+    def summary(self) -> str:
+        """One-line human summary."""
+        if self.passed:
+            return f"audit passed ({self.total_checks:,} checks)"
+        return (
+            f"audit FAILED: {self.total_violations} violation(s) "
+            f"over {self.total_checks:,} checks"
+        )

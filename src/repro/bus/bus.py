@@ -156,6 +156,14 @@ class Bus:
         """True when transactions are queued."""
         return bool(self._pending)
 
+    def pending_snapshot(self) -> tuple[BusTransaction, ...]:
+        """The queued (not yet granted) transactions, in issue order.
+
+        Read-only view for diagnostics and the audit layer; mutating the
+        returned transactions is not supported.
+        """
+        return tuple(self._pending)
+
     def next_arbitration_time(self, now: int) -> int | None:
         """Earliest time a grant decision could be made, or None if idle."""
         if not self._pending:

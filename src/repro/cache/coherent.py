@@ -145,7 +145,12 @@ class CoherentCache:
         return self.victim.has_valid_copy(block)
 
     def state_of(self, block: int) -> LineState:
-        """Coherence state of ``block`` (INVALID when not present)."""
+        """Coherence state of ``block`` (INVALID when not present).
+
+        Part of the read-only query surface the runtime sanitizer
+        (:mod:`repro.audit`) sweeps after every bus grant and fill
+        completion -- it must never mutate frame state or LRU order.
+        """
         frame = self._by_block.get(block)
         if frame is None:
             return LineState.INVALID
@@ -269,5 +274,9 @@ class CoherentCache:
     # ---------------------------------------------------------------- queries
 
     def resident_blocks(self) -> list[int]:
-        """Blocks with valid copies in the main array (tests/diagnostics)."""
+        """Blocks with valid copies in the main array.
+
+        Used by tests, diagnostics, and the end-of-run audit sweep
+        (:mod:`repro.audit`); read-only like :meth:`state_of`.
+        """
         return sorted(b for b, f in self._by_block.items() if f.valid)

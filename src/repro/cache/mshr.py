@@ -105,6 +105,10 @@ class MissStatusRegisters:
         """The outstanding fill for ``block``, if any."""
         return self._fills.get(block)
 
+    def outstanding_fills(self) -> tuple[OutstandingFill, ...]:
+        """All in-flight fills (read-only view for diagnostics/audits)."""
+        return tuple(self._fills.values())
+
     def start(
         self, block: int, is_prefetch: bool, exclusive: bool, intended_word_mask: int = 0
     ) -> OutstandingFill:

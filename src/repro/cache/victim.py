@@ -123,3 +123,14 @@ class VictimCache:
         """True if a valid (non-invalidated) copy of ``block`` is parked."""
         entry = self._entries.get(block)
         return entry is not None and entry.state is not LineState.INVALID
+
+    def state_of(self, block: int) -> LineState:
+        """Coherence state of a parked entry (INVALID when absent)."""
+        entry = self._entries.get(block)
+        return LineState.INVALID if entry is None else entry.state
+
+    def valid_blocks(self) -> list[int]:
+        """Blocks with valid parked copies (diagnostics/audits)."""
+        return sorted(
+            b for b, e in self._entries.items() if e.state is not LineState.INVALID
+        )

@@ -262,6 +262,47 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_audit(args: argparse.Namespace) -> int:
+    from repro.audit.grid import PointOutcome, audit_grid, quick_grid, verification_grid
+
+    points = quick_grid() if args.quick else verification_grid()
+    label = "quick" if args.quick else "full"
+    print(
+        f"auditing {len(points)} configurations ({label} grid, "
+        f"{args.cpus} CPUs, scale {args.scale}, seed {args.seed})"
+    )
+
+    failed: list[PointOutcome] = []
+
+    def progress(outcome: PointOutcome) -> None:
+        if not outcome.passed:
+            failed.append(outcome)
+            print(f"  FAIL {outcome.point.label}: {outcome.report.summary()}")
+        elif args.verbose:
+            print(f"  ok   {outcome.point.label}: {outcome.report.summary()}")
+
+    outcomes = audit_grid(
+        points,
+        num_cpus=args.cpus,
+        seed=args.seed,
+        scale=args.scale,
+        workers=args.workers,
+        progress=progress,
+    )
+    total_checks = sum(o.report.total_checks for o in outcomes)
+    print(
+        f"{len(outcomes) - len(failed)}/{len(outcomes)} configurations passed "
+        f"({total_checks:,} checks)"
+    )
+    for outcome in failed:
+        print(f"\n{outcome.point.label}:")
+        for violation in outcome.report.violations:
+            print(f"  {violation}")
+        if outcome.report.truncated:
+            print(f"  ... and {outcome.report.truncated} more")
+    return 1 if failed else 0
+
+
 def _cmd_list(_args: argparse.Namespace) -> int:
     print("workloads  :", ", ".join(ALL_WORKLOAD_NAMES))
     print(
@@ -341,6 +382,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scale", type=float, default=1.0, help="workload scale (default 1.0)")
     p.add_argument("--seed", type=int, default=42, help="workload seed (default 42)")
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser("audit", help="audited sweep of the invariant verification grid")
+    p.add_argument("--quick", action="store_true", help="18-point smoke subset (CI)")
+    p.add_argument("--workers", type=int, default=0, help="worker processes (default serial)")
+    p.add_argument("--cpus", type=int, default=4, help="processor count (default 4)")
+    p.add_argument("--scale", type=float, default=0.2, help="workload scale (default 0.2)")
+    p.add_argument("--seed", type=int, default=42, help="workload seed (default 42)")
+    p.add_argument("--verbose", action="store_true", help="print every configuration")
+    p.set_defaults(func=_cmd_audit)
 
     p = sub.add_parser("list", help="available workloads/strategies/experiments")
     p.set_defaults(func=_cmd_list)

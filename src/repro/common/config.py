@@ -233,11 +233,17 @@ class SimulationConfig:
             demand miss.  Used by the perfect-knowledge prefetcher
             (:mod:`repro.prefetch.oracle`) to target exactly the
             references that missed in a prior run.
+        audit: run the coherence/structural/conservation sanitizer
+            (:mod:`repro.audit`) alongside the simulation and attach an
+            :class:`~repro.audit.report.AuditReport` to the result.
+            Audits are read-only: simulated metrics are bit-identical
+            with the flag on or off.
     """
 
     max_cycles: int = 5_000_000_000
     collect_per_cpu: bool = True
     record_miss_indices: bool = False
+    audit: bool = False
 
     def __post_init__(self) -> None:
         _require(self.max_cycles > 0, "max_cycles must be positive")

@@ -93,6 +93,7 @@ def _simulate_job(
     scale: float,
     strategy: PrefetchStrategy,
     machine: MachineConfig,
+    sim_config: SimulationConfig | None = None,
 ) -> dict[str, Any]:
     """Run one simulation in a worker process.
 
@@ -119,7 +120,12 @@ def _simulate_job(
         _WORKER_TRACES.move_to_end(tkey)
     annotated, _report = insert_prefetches(trace, strategy, machine.cache)
     label = strategy.name if not restructured else f"{strategy.name}+restructured"
-    result = simulate(annotated, machine, strategy_name=label, sim_config=SimulationConfig())
+    result = simulate(
+        annotated,
+        machine,
+        strategy_name=label,
+        sim_config=sim_config if sim_config is not None else SimulationConfig(),
+    )
     return result.to_dict()
 
 
@@ -136,6 +142,10 @@ class ExperimentRunner:
             0 or 1 keeps everything serial and in-process (default).
         disk_cache: directory for the persistent result cache (see
             :mod:`repro.perf.diskcache`); None disables it.
+        sim_config: engine-level options applied to every run.  When
+            ``sim_config.audit`` is set the disk cache is bypassed in
+            both directions: a cache hit would skip the audit entirely,
+            and stored entries must keep the unaudited wire format.
     """
 
     def __init__(
@@ -146,11 +156,13 @@ class ExperimentRunner:
         trace_cache_size: int = 3,
         max_workers: int | None = None,
         disk_cache: str | Path | None = None,
+        sim_config: SimulationConfig | None = None,
     ) -> None:
         self.num_cpus = num_cpus
         self.seed = seed
         self.scale = scale
         self.max_workers = max_workers
+        self.sim_config = sim_config if sim_config is not None else SimulationConfig()
         self.disk_cache = ResultDiskCache(disk_cache) if disk_cache else None
         self._trace_cache: OrderedDict[tuple, MultiTrace] = OrderedDict()
         self._trace_cache_size = trace_cache_size
@@ -223,7 +235,7 @@ class ExperimentRunner:
         machine: MachineConfig,
         restructured: bool,
     ) -> RunMetrics | None:
-        if self.disk_cache is None:
+        if self.disk_cache is None or self.sim_config.audit:
             return None
         payload = self._cache_payload(workload, strategy, machine, restructured)
         data = self.disk_cache.load(content_key(payload))
@@ -237,7 +249,7 @@ class ExperimentRunner:
         restructured: bool,
         result: RunMetrics,
     ) -> None:
-        if self.disk_cache is None:
+        if self.disk_cache is None or self.sim_config.audit:
             return
         payload = self._cache_payload(workload, strategy, machine, restructured)
         self.disk_cache.store(content_key(payload), result.to_dict(), payload)
@@ -262,7 +274,7 @@ class ExperimentRunner:
             annotated, _report = insert_prefetches(clean, strategy, machine.cache)
             label = strategy.name if not restructured else f"{strategy.name}+restructured"
             result = simulate(
-                annotated, machine, strategy_name=label, sim_config=SimulationConfig()
+                annotated, machine, strategy_name=label, sim_config=self.sim_config
             )
             self._disk_store(workload, strategy, machine, restructured, result)
         self._results[key] = result
@@ -320,6 +332,7 @@ class ExperimentRunner:
                         self.scale,
                         strategy,
                         machine,
+                        self.sim_config,
                     )
                     for _key, (workload, strategy, machine, restructured) in pending
                 ]

@@ -6,6 +6,7 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.audit.report import AuditReport
 from repro.bus.bus import BusStats
 
 __all__ = ["CpuMetrics", "MissCounts", "RunMetrics"]
@@ -178,6 +179,11 @@ class RunMetrics:
     exec_cycles: int
     per_cpu: list[CpuMetrics]
     bus: BusStats
+    #: Sanitizer outcome when the run executed with audits enabled
+    #: (:mod:`repro.audit`); None otherwise.  Excluded from equality so
+    #: audited and unaudited runs of the same configuration compare
+    #: equal -- the audit contract is that hooks never change results.
+    audit: AuditReport | None = field(default=None, compare=False)
 
     # ------------------------------------------------------------ aggregates
 
@@ -295,7 +301,7 @@ class RunMetrics:
         process-parallel runner rely on to make cached/parallel runs
         indistinguishable from in-process ones.
         """
-        return {
+        data = {
             "workload": self.workload,
             "strategy": self.strategy,
             "machine": self.machine,
@@ -303,10 +309,14 @@ class RunMetrics:
             "per_cpu": [c.to_dict() for c in self.per_cpu],
             "bus": self.bus.to_dict(),
         }
+        if self.audit is not None:
+            data["audit"] = self.audit.to_dict()
+        return data
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "RunMetrics":
         """Exact inverse of :meth:`to_dict`."""
+        audit = data.get("audit")
         return cls(
             workload=data["workload"],
             strategy=data["strategy"],
@@ -314,6 +324,7 @@ class RunMetrics:
             exec_cycles=data["exec_cycles"],
             per_cpu=[CpuMetrics.from_dict(c) for c in data["per_cpu"]],
             bus=BusStats.from_dict(data["bus"]),
+            audit=AuditReport.from_dict(audit) if audit is not None else None,
         )
 
     def describe(self) -> dict[str, Any]:

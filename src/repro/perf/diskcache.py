@@ -12,9 +12,10 @@ JSON by a SHA-256 content hash of exactly those inputs, so
 * deleting the cache directory (``results/.cache/`` by default) is
   always safe -- entries are pure derived data.
 
-Writes are atomic (temp file + ``os.replace``) so a crashed or killed
-run can never leave a torn entry; unreadable entries are treated as
-misses and overwritten.
+Writes are atomic (a uniquely named temp file + ``os.replace``) so a
+crashed or killed run can never leave a torn entry; unreadable entries
+are treated as misses and overwritten; stale temp files orphaned by a
+crashed writer are swept on first use.
 """
 
 from __future__ import annotations
@@ -23,6 +24,8 @@ import hashlib
 import json
 import os
 import shutil
+import tempfile
+import time
 from pathlib import Path
 from typing import Any
 
@@ -34,9 +37,20 @@ def content_key(payload: dict[str, Any]) -> str:
 
     The rendering sorts keys and uses compact separators so the digest
     depends only on content, never on dict insertion order.
+
+    The payload must be JSON-native (dict/list/str/int/float/bool/None,
+    finite numbers): anything else raises ``TypeError`` (``ValueError``
+    for NaN/infinity) rather than being silently stringified -- object
+    reprs embed memory addresses, which would make the "same" payload
+    hash differently across processes and defeat the cache.
     """
-    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"), default=str)
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"), allow_nan=False)
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+#: Temp files older than this are considered orphans of a crashed writer
+#: and removed by the sweep; younger ones may belong to a live process.
+_ORPHAN_MAX_AGE_SECONDS = 3600.0
 
 
 class ResultDiskCache:
@@ -55,9 +69,30 @@ class ResultDiskCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self._swept = False
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
+
+    def _sweep_orphans(self) -> None:
+        """Remove temp files orphaned by crashed writers (once per instance).
+
+        Only files older than :data:`_ORPHAN_MAX_AGE_SECONDS` are
+        removed: a younger temp file may be a live writer's in-flight
+        entry.
+        """
+        if self._swept:
+            return
+        self._swept = True
+        if not self.root.exists():
+            return
+        cutoff = time.time() - _ORPHAN_MAX_AGE_SECONDS
+        for tmp in self.root.glob("*/*.tmp*"):
+            try:
+                if tmp.stat().st_mtime < cutoff:
+                    tmp.unlink()
+            except OSError:
+                pass  # concurrent sweep or writer won the race; retry next session
 
     def load(self, key: str) -> dict[str, Any] | None:
         """The cached metrics dict for ``key``, or None on a miss.
@@ -65,6 +100,7 @@ class ResultDiskCache:
         A corrupt or truncated entry counts as a miss (it will be
         re-simulated and overwritten).
         """
+        self._sweep_orphans()
         path = self._path(key)
         try:
             with path.open("r", encoding="utf-8") as fh:
@@ -81,14 +117,28 @@ class ResultDiskCache:
 
         ``inputs`` (the hashed payload) is stored alongside for
         debuggability -- entries are self-describing.
+
+        The temp file is uniquely named per call (``mkstemp``), so
+        concurrent writers -- including threads sharing one PID -- can
+        never tear each other's entry; a writer that dies between
+        create and replace leaves an orphan that the next session's
+        sweep collects.
         """
+        self._sweep_orphans()
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
         entry = {"key": key, "inputs": inputs, "metrics": metrics}
-        with tmp.open("w", encoding="utf-8") as fh:
-            json.dump(entry, fh, sort_keys=True, default=str)
-        os.replace(tmp, path)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=f"{key[:8]}.", suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(entry, fh, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
         self.stores += 1
 
     def clear(self) -> None:

@@ -24,6 +24,7 @@ from __future__ import annotations
 from collections import deque
 from heapq import heappop, heappush, heappushpop
 
+from repro.audit.sanitizer import EngineAuditor
 from repro.bus.bus import Bus
 from repro.bus.transaction import BusTransaction, TransactionKind
 from repro.cache.coherent import CoherentCache
@@ -45,7 +46,7 @@ __all__ = ["ENGINE_VERSION", "SimulationEngine", "simulate"]
 #: results bit-identical must NOT bump it: the tag is part of the disk
 #: result-cache key (:mod:`repro.perf.diskcache`), so bumping it
 #: invalidates every cached simulation result.
-ENGINE_VERSION = "1"
+ENGINE_VERSION = "2"
 
 # Event kinds on the heap (ordering within a timestamp is by push sequence).
 _EV_CPU = 0
@@ -54,6 +55,12 @@ _EV_FILLDONE = 2
 
 #: Extra cycles charged for swapping a line in from the victim cache.
 _VICTIM_SWAP_CYCLES = 1
+
+#: Entries kept in the (addr, size) -> word_mask memo before it is
+#: cleared.  The memo is a pure-function cache, so clearing costs only
+#: recomputation; without a bound it grows with the number of distinct
+#: (addr, size) pairs, which is unbounded over very long traces.
+_WM_CACHE_LIMIT = 1 << 16
 
 
 def simulate(
@@ -123,6 +130,12 @@ class SimulationEngine:
             tuple(p.cache for p in self.procs if p.cpu != i)
             for i in range(machine.num_cpus)
         ]
+        #: Flag-gated sanitizer (None when disabled; all hook sites are
+        #: ``if audit is not None`` branches, so the disabled engine
+        #: stays on its original code paths and results are identical).
+        self._audit: EngineAuditor | None = (
+            EngineAuditor(self) if sim_config.audit else None
+        )
 
     # ------------------------------------------------------------- main loop
 
@@ -181,6 +194,7 @@ class SimulationEngine:
             )
             for proc in procs
         ]
+        audit = self._audit
         pending: tuple[int, int, int, int, int] | None = None
         while True:
             if pending is not None:
@@ -190,6 +204,8 @@ class SimulationEngine:
                 item = heappop(heap)
             else:
                 break
+            if audit is not None:
+                audit.on_pop(item)
             time, _, kind, a, b = item
             if time > max_cycles:
                 raise SimulationError(
@@ -257,6 +273,8 @@ class SimulationEngine:
                 mask = wm_cache.get((addr, size))
                 if mask is None:
                     mask = word_mask_for(addr, size, block_size)
+                    if len(wm_cache) >= _WM_CACHE_LIMIT:
+                        wm_cache.clear()
                     wm_cache[(addr, size)] = mask
                 # Plain hit: replicate lookup_demand + record_access +
                 # _complete_access("retire") for the hit case.
@@ -312,6 +330,9 @@ class SimulationEngine:
             exec_cycles=exec_cycles,
             per_cpu=[p.metrics for p in self.procs],
             bus=self.bus.stats,
+            # Conservation identities check the derived stall cycles, so
+            # finalize must run after the loop above.
+            audit=self._audit.finalize() if self._audit is not None else None,
         )
 
     # ------------------------------------------------------------ heap utils
@@ -332,6 +353,8 @@ class SimulationEngine:
         mask = self._wm_cache.get((addr, size))
         if mask is None:
             mask = word_mask_for(addr, size, self._block_size)
+            if len(self._wm_cache) >= _WM_CACHE_LIMIT:
+                self._wm_cache.clear()
             self._wm_cache[(addr, size)] = mask
         return mask
 
@@ -575,6 +598,8 @@ class SimulationEngine:
 
     def _complete_access(self, proc: Processor, time: int) -> None:
         """Run the access continuation at ``time`` and step the CPU."""
+        if self._audit is not None:
+            self._audit.on_access_complete(proc)
         cont = proc.acc_cont
         metrics = proc.metrics
         if proc.acc_sync:
@@ -631,6 +656,8 @@ class SimulationEngine:
                 pass  # occupancy accounted by the bus; no coherence effects
             else:
                 self._grant_fill(txn, now)
+            if self._audit is not None:
+                self._audit.after_grant(txn)
         self._schedule_arb()
 
     def _grant_fill(self, txn: BusTransaction, now: int) -> None:
@@ -655,8 +682,15 @@ class SimulationEngine:
                 others_have = True
                 if exclusive:
                     proc.mshr.snoop_invalidate(txn.block, txn.word_mask)
-                elif remote_fill.fill_state is LineState.PRIVATE:
-                    # Two concurrent read fills: both end up SHARED.
+                elif remote_fill.fill_state.is_exclusive:
+                    # A read serialized behind a concurrent exclusive
+                    # fill: both copies land SHARED.  For an in-flight
+                    # PRIVATE read fill that is the two-readers rule;
+                    # for an in-flight MODIFIED write fill it mirrors
+                    # the installed-MODIFIED snoop (Illinois dirty
+                    # transfer, memory updated in the same transaction).
+                    # Only reachable with contention_free=True -- a
+                    # contended bus serializes fills completely.
                     remote_fill.fill_state = LineState.SHARED
 
         if not exclusive:
@@ -740,3 +774,5 @@ class SimulationEngine:
                 # for one hot line livelock: each fill is invalidated by
                 # the next CPU's grant before the owner's event runs.)
                 self._try_access(proc, time)
+        if self._audit is not None:
+            self._audit.after_fill_done(proc, block)

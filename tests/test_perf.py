@@ -126,7 +126,49 @@ class TestDiskCache:
     def test_content_key_separates_inputs(self):
         base = {"workload": "Water", "seed": 42, "engine_version": ENGINE_VERSION}
         assert content_key(base) != content_key({**base, "seed": 43})
-        assert content_key(base) != content_key({**base, "engine_version": "2"})
+        assert content_key(base) != content_key(
+            {**base, "engine_version": ENGINE_VERSION + "-other"}
+        )
+
+    def test_content_key_rejects_non_json_native_payloads(self):
+        """Objects must not silently stringify (reprs embed memory
+        addresses, so the "same" payload would hash differently across
+        processes)."""
+
+        class Opaque:
+            pass
+
+        with pytest.raises(TypeError):
+            content_key({"machine": Opaque()})
+        with pytest.raises(TypeError):
+            content_key({"strategies": {"NP", "PREF"}})
+        with pytest.raises(ValueError):
+            content_key({"scale": float("nan")})
+
+    def test_store_leaves_no_temp_files(self, tmp_path):
+        cache = ResultDiskCache(tmp_path / "c")
+        for i in range(5):
+            cache.store(content_key({"k": i}), {"metric": i}, {"k": i})
+        assert len(cache) == 5
+        assert list((tmp_path / "c").glob("*/*.tmp*")) == []
+
+    def test_stale_temp_orphans_are_swept(self, tmp_path):
+        import os
+
+        cache = ResultDiskCache(tmp_path / "c")
+        key = content_key({"k": 1})
+        cache.store(key, {"metric": 1}, {"k": 1})
+        bucket = cache._path(key).parent
+        stale = bucket / "deadbeef.orphan.tmp"
+        stale.write_text("{torn", encoding="utf-8")
+        os.utime(stale, (0, 0))  # ancient: definitely past the sweep cutoff
+        fresh = bucket / "cafecafe.live.tmp"
+        fresh.write_text("{in-flight", encoding="utf-8")
+
+        again = ResultDiskCache(tmp_path / "c")  # sweep runs once per instance
+        assert again.load(key) == {"metric": 1}
+        assert not stale.exists()
+        assert fresh.exists()  # young temp may belong to a live writer
 
     def test_store_load_round_trip(self, tmp_path):
         cache = ResultDiskCache(tmp_path / "c")
@@ -172,6 +214,29 @@ class TestDiskCache:
         assert payload["engine_version"] == ENGINE_VERSION
         bumped = {**payload, "engine_version": payload["engine_version"] + "-next"}
         assert content_key(payload) != content_key(bumped)
+
+
+# ------------------------------------------------------- word-mask memo
+
+
+class TestWordMaskMemoBound:
+    def test_memo_never_exceeds_its_limit(self, monkeypatch):
+        """The (addr, size) -> word_mask memo is cleared at the bound so
+        it cannot grow without limit over long traces with many distinct
+        addresses."""
+        import repro.sim.engine as engine_mod
+        from repro.common.config import SimulationConfig
+        from repro.sim.engine import SimulationEngine
+        from repro.workloads.registry import generate_workload
+
+        monkeypatch.setattr(engine_mod, "_WM_CACHE_LIMIT", 16)
+        trace = generate_workload("Water", num_cpus=2, seed=1, scale=0.05)
+        eng = SimulationEngine(trace, MachineConfig(num_cpus=2), SimulationConfig())
+        for addr in range(0, 64 * 32, 32):
+            eng._word_mask(addr, 4)
+            assert len(eng._wm_cache) <= 16
+        # correctness survives the clears: recomputed values agree
+        assert eng._word_mask(0, 4) == eng._word_mask(0, 4)
 
 
 # -------------------------------------------------------- parallel runner
