@@ -98,6 +98,10 @@ class Bus:
         self._pending: list[BusTransaction] = []
         self._last_granted_cpu = num_cpus - 1
         self._seq = 0
+        #: Optional observability tap (:class:`repro.obs.taps.EngineObserver`);
+        #: set by the engine when ``SimulationConfig.observe`` is on.
+        #: Read-only with respect to bus state.
+        self.observer = None
 
     # -------------------------------------------------------------- requests
 
@@ -106,6 +110,8 @@ class Bus:
         txn.seq = self._seq
         self._seq += 1
         self._pending.append(txn)
+        if self.observer is not None:
+            self.observer.on_bus_request(txn, len(self._pending))
 
     def make_fill(
         self, cpu: int, block: int, exclusive: bool, is_demand: bool, now: int, word_mask: int = 0
@@ -199,6 +205,8 @@ class Bus:
             self.free_at = chosen.completion_time
         self._last_granted_cpu = chosen.cpu
         self._account(chosen)
+        if self.observer is not None:
+            self.observer.on_bus_grant(chosen, len(self._pending))
         return chosen
 
     def _choose(self, eligible: list[BusTransaction]) -> BusTransaction:

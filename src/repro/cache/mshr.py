@@ -29,6 +29,9 @@ class OutstandingFill:
         block: block address being filled.
         is_prefetch: issued by a prefetch instruction (vs. demand miss).
         exclusive: exclusive-mode fill (READ_EX).
+        issue_time: engine time the fill was allocated (-1 when the
+            caller did not provide it; purely informational -- the
+            observability layer uses it for allocate-to-fill spans).
         completion_time: engine time at which data arrives (set at bus
             grant; -1 until then).
         fill_state: coherence state decided at bus grant (when snoop
@@ -43,6 +46,7 @@ class OutstandingFill:
         "block",
         "is_prefetch",
         "exclusive",
+        "issue_time",
         "completion_time",
         "fill_state",
         "granted",
@@ -52,11 +56,17 @@ class OutstandingFill:
     )
 
     def __init__(
-        self, block: int, is_prefetch: bool, exclusive: bool, intended_word_mask: int = 0
+        self,
+        block: int,
+        is_prefetch: bool,
+        exclusive: bool,
+        intended_word_mask: int = 0,
+        issue_time: int = -1,
     ) -> None:
         self.block = block
         self.is_prefetch = is_prefetch
         self.exclusive = exclusive
+        self.issue_time = issue_time
         self.completion_time = -1
         self.fill_state = LineState.INVALID
         self.granted = False
@@ -110,12 +120,17 @@ class MissStatusRegisters:
         return tuple(self._fills.values())
 
     def start(
-        self, block: int, is_prefetch: bool, exclusive: bool, intended_word_mask: int = 0
+        self,
+        block: int,
+        is_prefetch: bool,
+        exclusive: bool,
+        intended_word_mask: int = 0,
+        now: int = -1,
     ) -> OutstandingFill:
-        """Register a new outstanding fill."""
+        """Register a new outstanding fill (``now`` stamps its issue time)."""
         if block in self._fills:
             raise SimulationError(f"duplicate outstanding fill for block {block:#x}")
-        fill = OutstandingFill(block, is_prefetch, exclusive, intended_word_mask)
+        fill = OutstandingFill(block, is_prefetch, exclusive, intended_word_mask, now)
         self._fills[block] = fill
         if is_prefetch:
             self._prefetches_in_flight += 1

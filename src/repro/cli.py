@@ -10,6 +10,10 @@ Commands:
 * ``analyze`` -- sharing attribution and restructuring advice;
 * ``bench`` -- engine throughput micro-benchmark with a regression
   check against the committed ``BENCH_engine.json``;
+* ``timeline`` -- run one configuration with the observability taps on,
+  print the windowed telemetry as sparklines and export the event
+  timeline as Chrome trace JSON (Perfetto-loadable);
+* ``cache`` -- inspect or prune the on-disk result cache;
 * ``list`` -- available workloads, strategies and experiments.
 
 Examples::
@@ -18,6 +22,8 @@ Examples::
     python -m repro experiment figure2 --chart
     python -m repro analyze --workload Pverify
     python -m repro bench --quick
+    python -m repro timeline --workload water --quick
+    python -m repro cache --prune
 """
 
 from __future__ import annotations
@@ -35,6 +41,7 @@ from repro.experiments import (
     figure2,
     figure3,
     headline,
+    saturation,
     table1,
     table2,
     table3,
@@ -62,7 +69,18 @@ _EXPERIMENTS = {
     "figure3": figure3,
     "headline": headline,
     "utilization": utilization,
+    "saturation": saturation,
 }
+
+
+def _resolve_workload(name: str) -> str:
+    """Case-insensitive workload lookup (CI scripts pass lowercase)."""
+    for canonical in ALL_WORKLOAD_NAMES:
+        if canonical.lower() == name.lower():
+            return canonical
+    raise ReproError(
+        f"unknown workload {name!r}; expected one of {', '.join(ALL_WORKLOAD_NAMES)}"
+    )
 
 
 def _add_machine_args(parser: argparse.ArgumentParser) -> None:
@@ -206,8 +224,92 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    from repro.common.config import SimulationConfig
+    from repro.metrics.charts import sparkline
+    from repro.obs.export import write_chrome_trace
+
+    workload = _resolve_workload(args.workload)
+    if args.quick:
+        args.cpus, args.scale = 4, 0.05
+    strategy = strategy_by_name(args.strategy)
+    runner = ExperimentRunner(
+        num_cpus=args.cpus,
+        seed=args.seed,
+        scale=args.scale,
+        sim_config=SimulationConfig(
+            observe=True,
+            observe_window=args.window,
+            observe_trace_capacity=args.events,
+        ),
+    )
+    result = runner.run(workload, strategy, _machine(args))
+    obs = result.obs
+    width = 64
+    print(
+        f"{workload} / {strategy.name}: {result.exec_cycles:,} cycles, "
+        f"{args.cpus} CPUs, {args.transfer}-cycle transfers, "
+        f"{obs.window_cycles}-cycle windows ({obs.num_windows} windows)"
+    )
+    print(
+        f"bus util |{sparkline(obs.bus_utilization_series(), width, max_value=1.0)}| "
+        f"avg {result.bus_utilization:.2f}"
+    )
+    pf = obs.prefetch_share_series()
+    if any(pf):
+        print(
+            f"pf share |{sparkline(pf, width, max_value=1.0)}| "
+            f"prefetch fraction of bus occupancy"
+        )
+    print(
+        f"queue    |{sparkline(obs.mean_queue_series(), width)}| "
+        f"peak {obs.peak_queue}"
+    )
+    print(
+        f"mshr     |{sparkline(obs.mean_mshr_series(), width)}| "
+        f"peak {obs.peak_mshr} (prefetch buffer peak {obs.peak_pfbuf})"
+    )
+    print(
+        f"cpu busy |{sparkline(obs.cpu_busy_share_series(), width, max_value=1.0)}| "
+        f"avg {result.processor_utilization:.2f}"
+    )
+    problems = obs.reconcile(result)
+    if problems:
+        print(f"reconciliation: {len(problems)} MISMATCHES")
+        for problem in problems[:5]:
+            print(f"  {problem}")
+    else:
+        print("reconciliation: every windowed series sums to its aggregate (exact)")
+    out = args.out or f"results/timeline_{workload}_{strategy.name}.json"
+    path = write_chrome_trace(obs, out, label=f"{workload}/{strategy.name}")
+    print(
+        f"wrote {path} ({len(obs.timeline)} events, {obs.timeline_dropped} dropped; "
+        f"load in Perfetto / chrome://tracing)"
+    )
+    return 1 if problems else 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.perf.diskcache import DEFAULT_MAX_BYTES, ResultDiskCache
+
+    cap = DEFAULT_MAX_BYTES if args.max_bytes is None else args.max_bytes
+    cache = ResultDiskCache(args.dir, max_bytes=cap)
+    entries = len(cache)
+    total = cache.total_bytes()
+    print(f"{args.dir}: {entries} entries, {total / 1024**2:.1f} MB")
+    if args.prune:
+        removed, freed = cache.prune()
+        print(
+            f"pruned {removed} entries ({freed / 1024**2:.1f} MB) "
+            f"against a {cap / 1024**2:.0f} MB cap; "
+            f"{len(cache)} entries remain"
+        )
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.perf.bench import (
+        append_history,
         check_regression,
         load_report,
         run_microbench,
@@ -250,6 +352,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.update:
         update_report(result, args.file, headline=headline)
         print(f"updated {args.file}")
+        _print_trend(*append_history(result, args.file, quick=args.quick))
         return 0
     ok, reference, ratio = check_regression(
         result.events_per_sec, report, tolerance=1.0 - args.min_ratio
@@ -259,7 +362,23 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             f"regression check vs committed {reference:,.0f} events/sec: "
             f"ratio {ratio:.2f} ({'ok' if ok else 'REGRESSION'})"
         )
+    _print_trend(*append_history(result, args.file, quick=args.quick))
     return 0 if ok else 1
+
+
+def _print_trend(previous: dict | None, entry: dict) -> None:
+    """One-line history trend after a bench measurement is recorded."""
+    if previous is None:
+        print(f"history: first comparable entry recorded ({entry['timestamp']})")
+        return
+    prev_eps = previous.get("events_per_sec")
+    if not prev_eps:
+        return
+    delta = entry["events_per_sec"] / prev_eps - 1.0
+    print(
+        f"history: {delta:+.1%} vs previous comparable run "
+        f"({prev_eps:,.0f} events/sec at {previous.get('timestamp', '?')})"
+    )
 
 
 def _cmd_audit(args: argparse.Namespace) -> int:
@@ -382,6 +501,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scale", type=float, default=1.0, help="workload scale (default 1.0)")
     p.add_argument("--seed", type=int, default=42, help="workload seed (default 42)")
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser(
+        "timeline", help="observed run: telemetry sparklines + Chrome trace export"
+    )
+    p.add_argument("--workload", required=True, help="workload name (case-insensitive)")
+    p.add_argument("--strategy", default="PREF", help="NP/PREF/EXCL/LPD/PWS/PBUF")
+    p.add_argument(
+        "--quick", action="store_true", help="small 4-CPU, 0.05-scale run (CI smoke)"
+    )
+    p.add_argument(
+        "--window", type=int, default=4096, help="telemetry window in cycles (default 4096)"
+    )
+    p.add_argument(
+        "--events", type=int, default=65536,
+        help="timeline ring-buffer capacity in events (default 65536)",
+    )
+    p.add_argument(
+        "--out", help="trace JSON path (default results/timeline_<workload>_<strategy>.json)"
+    )
+    _add_machine_args(p)
+    p.set_defaults(func=_cmd_timeline)
+
+    p = sub.add_parser("cache", help="inspect or prune the on-disk result cache")
+    p.add_argument("--dir", default="results/.cache", help="cache directory")
+    p.add_argument("--prune", action="store_true", help="evict oldest entries over the cap")
+    p.add_argument(
+        "--max-bytes", type=int, default=None,
+        help="size cap in bytes for --prune (default: the built-in 2 GiB cap)",
+    )
+    p.set_defaults(func=_cmd_cache)
 
     p = sub.add_parser("audit", help="audited sweep of the invariant verification grid")
     p.add_argument("--quick", action="store_true", help="18-point smoke subset (CI)")

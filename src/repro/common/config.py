@@ -238,12 +238,28 @@ class SimulationConfig:
             :class:`~repro.audit.report.AuditReport` to the result.
             Audits are read-only: simulated metrics are bit-identical
             with the flag on or off.
+        observe: run the observability taps (:mod:`repro.obs`)
+            alongside the simulation and attach an
+            :class:`~repro.obs.sampler.ObsReport` (windowed telemetry
+            plus a ring-buffered event timeline) to the result.  Taps
+            are read-only: simulated metrics are bit-identical with the
+            flag on or off.
+        observe_window: telemetry window width in simulated cycles.
+        observe_trace_capacity: timeline ring-buffer size in events
+            (oldest evicted first; 0 keeps telemetry but no timeline).
     """
 
     max_cycles: int = 5_000_000_000
     collect_per_cpu: bool = True
     record_miss_indices: bool = False
     audit: bool = False
+    observe: bool = False
+    observe_window: int = 8192
+    observe_trace_capacity: int = 65536
 
     def __post_init__(self) -> None:
         _require(self.max_cycles > 0, "max_cycles must be positive")
+        _require(self.observe_window >= 1, "observe_window must be >= 1")
+        _require(
+            self.observe_trace_capacity >= 0, "observe_trace_capacity must be >= 0"
+        )

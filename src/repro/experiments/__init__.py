@@ -19,6 +19,8 @@ Experiment index (see DESIGN.md for the full mapping):
 * :mod:`repro.experiments.table5` -- restructured execution times
 * :mod:`repro.experiments.utilization` -- processor utilizations (4.2)
 * :mod:`repro.experiments.headline` -- headline speedup extremes
+* :mod:`repro.experiments.saturation` -- bus saturation dynamics over
+  time (extension; built on :mod:`repro.obs`)
 """
 
 from repro.experiments.runner import (

@@ -146,6 +146,8 @@ class ExperimentRunner:
             ``sim_config.audit`` is set the disk cache is bypassed in
             both directions: a cache hit would skip the audit entirely,
             and stored entries must keep the unaudited wire format.
+            ``sim_config.observe`` bypasses it for the same reason (a
+            hit would return a result with no telemetry attached).
     """
 
     def __init__(
@@ -235,7 +237,7 @@ class ExperimentRunner:
         machine: MachineConfig,
         restructured: bool,
     ) -> RunMetrics | None:
-        if self.disk_cache is None or self.sim_config.audit:
+        if self.disk_cache is None or self.sim_config.audit or self.sim_config.observe:
             return None
         payload = self._cache_payload(workload, strategy, machine, restructured)
         data = self.disk_cache.load(content_key(payload))
@@ -249,7 +251,7 @@ class ExperimentRunner:
         restructured: bool,
         result: RunMetrics,
     ) -> None:
-        if self.disk_cache is None or self.sim_config.audit:
+        if self.disk_cache is None or self.sim_config.audit or self.sim_config.observe:
             return
         payload = self._cache_payload(workload, strategy, machine, restructured)
         self.disk_cache.store(content_key(payload), result.to_dict(), payload)

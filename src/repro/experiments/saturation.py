@@ -1,0 +1,157 @@
+"""Saturation dynamics: bus utilization *over time* (extension).
+
+The paper's Table 2 reports one bus-utilization number per run, and its
+central claim -- prefetching helps until the shared bus saturates, then
+hurts -- is argued from those aggregates.  This experiment uses the
+observability subsystem (:mod:`repro.obs`) to watch the claim happen:
+windowed bus utilization and the demand/prefetch occupancy split for NP
+vs. PREF vs. PWS on a fast (8-cycle) and a slow (32-cycle) bus.
+
+On the fast bus the prefetchers' extra traffic fits in the headroom and
+the utilization envelope stays below saturation; on the slow bus the
+same prefetch streams pin the windowed utilization at ~1.0 for most of
+the run while queue depth grows -- the dynamic signature of the
+execution-time *increase* the paper reports at 32 cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.experiments.runner import ExperimentRunner
+from repro.metrics.charts import sparkline
+from repro.prefetch.strategies import strategy_by_name
+
+__all__ = ["SaturationCell", "SaturationResult", "render", "run"]
+
+#: The disciplines contrasted: the baseline, the basic prefetcher, and
+#: the most traffic-hungry one (redundant write-shared prefetches).
+DEFAULT_STRATEGIES = ("NP", "PREF", "PWS")
+
+#: The fast/slow bus pair of the headline experiment.
+DEFAULT_TRANSFERS = (8, 32)
+
+
+@dataclass
+class SaturationCell:
+    """One (strategy, transfer-latency) run's dynamic view."""
+
+    strategy: str
+    transfer_cycles: int
+    exec_cycles: int
+    window_cycles: int
+    bus_utilization: float
+    utilization_series: list[float]
+    demand_share_series: list[float]
+    prefetch_share_series: list[float]
+    mean_queue: float
+    peak_queue: int
+
+    @property
+    def saturated_fraction(self) -> float:
+        """Fraction of windows with utilization >= 0.95 (saturation dwell)."""
+        series = self.utilization_series
+        if not series:
+            return 0.0
+        return sum(1 for u in series if u >= 0.95) / len(series)
+
+
+@dataclass
+class SaturationResult:
+    """All cells of the saturation-dynamics comparison."""
+
+    workload: str
+    num_cpus: int
+    scale: float
+    transfer_latencies: tuple[int, ...]
+    strategies: tuple[str, ...]
+    cells: dict[tuple[int, str], SaturationCell]
+
+
+def run(
+    runner: ExperimentRunner | None = None,
+    workload: str = "Mp3d",
+    strategies: tuple[str, ...] = DEFAULT_STRATEGIES,
+    transfer_latencies: tuple[int, ...] = DEFAULT_TRANSFERS,
+    window: int = 4096,
+) -> SaturationResult:
+    """Simulate every (strategy, transfer) cell with telemetry enabled.
+
+    ``runner`` only contributes the frame (CPU count, seed, scale): the
+    observed runs execute on a dedicated runner whose ``sim_config`` has
+    ``observe`` set, since telemetry-bearing results bypass the caches.
+    """
+    frame = runner or ExperimentRunner()
+    obs_runner = ExperimentRunner(
+        num_cpus=frame.num_cpus,
+        seed=frame.seed,
+        scale=frame.scale,
+        sim_config=replace(
+            frame.sim_config, observe=True, observe_window=window, observe_trace_capacity=0
+        ),
+    )
+    cells: dict[tuple[int, str], SaturationCell] = {}
+    for cycles in transfer_latencies:
+        machine = obs_runner.base_machine().with_transfer_cycles(cycles)
+        for name in strategies:
+            result = obs_runner.run(workload, strategy_by_name(name), machine)
+            obs = result.obs
+            if obs is None:  # pragma: no cover - observe is set above
+                raise RuntimeError("observed run returned no telemetry")
+            cells[(cycles, name)] = SaturationCell(
+                strategy=name,
+                transfer_cycles=cycles,
+                exec_cycles=result.exec_cycles,
+                window_cycles=obs.window_cycles,
+                bus_utilization=result.bus_utilization,
+                utilization_series=obs.bus_utilization_series(),
+                demand_share_series=obs.demand_share_series(),
+                prefetch_share_series=obs.prefetch_share_series(),
+                mean_queue=sum(obs.bus_queue) / result.exec_cycles
+                if result.exec_cycles
+                else 0.0,
+                peak_queue=obs.peak_queue,
+            )
+    return SaturationResult(
+        workload=workload,
+        num_cpus=frame.num_cpus,
+        scale=frame.scale,
+        transfer_latencies=tuple(transfer_latencies),
+        strategies=tuple(strategies),
+        cells=cells,
+    )
+
+
+def render(result: SaturationResult, width: int = 64) -> str:
+    """Sparkline view: one utilization timeline per cell.
+
+    All sparklines are scaled against utilization 1.0, so a full-height
+    glyph *is* a saturated window and envelopes compare across cells.
+    """
+    lines = [
+        f"Saturation dynamics: {result.workload}, {result.num_cpus} CPUs, "
+        f"scale {result.scale} (bus utilization per "
+        f"{next(iter(result.cells.values())).window_cycles}-cycle window)"
+    ]
+    for cycles in result.transfer_latencies:
+        lines.append("")
+        lines.append(f"-- {cycles}-cycle transfers " + "-" * max(0, width - 12))
+        for name in result.strategies:
+            cell = result.cells[(cycles, name)]
+            lines.append(
+                f"{name:<5} util |{sparkline(cell.utilization_series, width, max_value=1.0)}| "
+                f"avg {cell.bus_utilization:.2f}  sat {cell.saturated_fraction:.0%}  "
+                f"queue avg {cell.mean_queue:.1f} peak {cell.peak_queue}  "
+                f"exec {cell.exec_cycles:,}"
+            )
+            if any(cell.prefetch_share_series):
+                lines.append(
+                    f"      pf   |{sparkline(cell.prefetch_share_series, width, max_value=1.0)}| "
+                    f"prefetch share of bus occupancy"
+                )
+    lines.append("")
+    lines.append(
+        "sparklines: one glyph per resampled window; full height = saturated "
+        "(utilization 1.0 / share 1.0)"
+    )
+    return "\n".join(lines)

@@ -7,7 +7,9 @@ charts so a terminal-only reproduction still *looks* like the paper:
 * :func:`bar_chart` -- grouped horizontal bars (Figure 1 style);
 * :func:`stacked_bar_chart` -- stacked horizontal bars (Figure 3 style);
 * :func:`line_chart` -- multi-series plot on a character grid
-  (Figure 2 style).
+  (Figure 2 style);
+* :func:`sparkline` -- a one-line time series (the observability
+  subsystem's bus-utilization-over-time view).
 
 No dependencies; everything returns a plain string.
 """
@@ -16,14 +18,50 @@ from __future__ import annotations
 
 from typing import Mapping, Sequence
 
-__all__ = ["bar_chart", "line_chart", "stacked_bar_chart"]
+__all__ = ["bar_chart", "line_chart", "sparkline", "stacked_bar_chart"]
 
 _FULL = "█"
 _STACK_GLYPHS = "█▓▒░▚▞▘"
+_SPARK_GLYPHS = "▁▂▃▄▅▆▇█"
 
 
 def _fmt(value: float) -> str:
     return f"{value:.3f}" if value < 10 else f"{value:.1f}"
+
+
+def sparkline(
+    values: Sequence[float],
+    width: int = 60,
+    max_value: float | None = None,
+) -> str:
+    """A one-line Unicode sparkline of ``values``.
+
+    Longer series are resampled to ``width`` by bucket means (each
+    output glyph averages a contiguous slice, so a narrow spike dims
+    rather than disappears).  Values are scaled against ``max_value``
+    (default: the series peak); negatives clamp to the baseline.
+
+    Example::
+
+        ▁▂▄▇██▇▅▃▂▁
+    """
+    if not values:
+        return ""
+    if len(values) > width:
+        n = len(values)
+        buckets = []
+        for i in range(width):
+            lo, hi = i * n // width, (i + 1) * n // width
+            chunk = values[lo:hi]
+            buckets.append(sum(chunk) / len(chunk))
+        values = buckets
+    peak = max_value if max_value is not None else max(values)
+    if peak <= 0:
+        return _SPARK_GLYPHS[0] * len(values)
+    top = len(_SPARK_GLYPHS) - 1
+    return "".join(
+        _SPARK_GLYPHS[min(top, round(max(0.0, v) / peak * top))] for v in values
+    )
 
 
 def bar_chart(

@@ -8,6 +8,7 @@ from typing import Any
 
 from repro.audit.report import AuditReport
 from repro.bus.bus import BusStats
+from repro.obs.sampler import ObsReport
 
 __all__ = ["CpuMetrics", "MissCounts", "RunMetrics"]
 
@@ -184,6 +185,11 @@ class RunMetrics:
     #: audited and unaudited runs of the same configuration compare
     #: equal -- the audit contract is that hooks never change results.
     audit: AuditReport | None = field(default=None, compare=False)
+    #: Observability payload when the run executed with
+    #: ``SimulationConfig.observe`` on (:mod:`repro.obs`); None
+    #: otherwise.  Excluded from equality for the same reason: taps
+    #: never change simulated results.
+    obs: ObsReport | None = field(default=None, compare=False)
 
     # ------------------------------------------------------------ aggregates
 
@@ -311,12 +317,15 @@ class RunMetrics:
         }
         if self.audit is not None:
             data["audit"] = self.audit.to_dict()
+        if self.obs is not None:
+            data["obs"] = self.obs.to_dict()
         return data
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "RunMetrics":
         """Exact inverse of :meth:`to_dict`."""
         audit = data.get("audit")
+        obs = data.get("obs")
         return cls(
             workload=data["workload"],
             strategy=data["strategy"],
@@ -325,6 +334,7 @@ class RunMetrics:
             per_cpu=[CpuMetrics.from_dict(c) for c in data["per_cpu"]],
             bus=BusStats.from_dict(data["bus"]),
             audit=AuditReport.from_dict(audit) if audit is not None else None,
+            obs=ObsReport.from_dict(obs) if obs is not None else None,
         )
 
     def describe(self) -> dict[str, Any]:

@@ -16,6 +16,9 @@ The report file (``BENCH_engine.json`` at the repo root) holds:
 * ``headline`` -- wall time of the headline experiment (the abstract's
   speedup sweep), an end-to-end figure including trace generation and
   prefetch insertion.
+* ``history`` -- a rolling list of timestamped measurements appended by
+  every ``repro bench`` invocation, so throughput drift is visible over
+  time rather than only against the single committed ``current``.
 """
 
 from __future__ import annotations
@@ -23,6 +26,7 @@ from __future__ import annotations
 import json
 import time
 from dataclasses import asdict, dataclass
+from datetime import datetime, timezone
 from pathlib import Path
 from typing import Any
 
@@ -32,6 +36,7 @@ from repro.workloads.registry import generate_workload
 
 __all__ = [
     "MicrobenchResult",
+    "append_history",
     "check_regression",
     "load_report",
     "run_microbench",
@@ -40,6 +45,9 @@ __all__ = [
 
 #: Default report location (relative to the invoking directory).
 DEFAULT_REPORT = "BENCH_engine.json"
+
+#: History entries kept in the report (oldest dropped first).
+HISTORY_LIMIT = 100
 
 
 @dataclass
@@ -143,6 +151,51 @@ def update_report(
         json.dump(report, fh, indent=2, sort_keys=True)
         fh.write("\n")
     return report
+
+
+def append_history(
+    result: MicrobenchResult,
+    path: str | Path = DEFAULT_REPORT,
+    limit: int = HISTORY_LIMIT,
+    quick: bool = False,
+) -> tuple[dict[str, Any] | None, dict[str, Any]]:
+    """Append a timestamped measurement to the report's ``history`` list.
+
+    Returns ``(previous_entry, new_entry)`` where the previous entry is
+    the most recent *comparable* one (same workload/CPUs/scale and the
+    same ``quick`` calibration -- a 1-second smoke run is noisier than a
+    10-second measurement, so mixing them would fake trends).  The list
+    is trimmed to ``limit`` entries, oldest first.
+    """
+    report = load_report(path) or {}
+    history = report.get("history")
+    if not isinstance(history, list):
+        history = []
+    entry = {
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "events_per_sec": result.events_per_sec,
+        "events": result.events,
+        "runs": result.runs,
+        "workload": result.workload,
+        "num_cpus": result.num_cpus,
+        "scale": result.scale,
+        "engine_version": result.engine_version,
+        "quick": quick,
+    }
+
+    def comparable(past: dict[str, Any]) -> bool:
+        return all(
+            past.get(k) == entry[k]
+            for k in ("workload", "num_cpus", "scale", "quick")
+        )
+
+    previous = next((e for e in reversed(history) if comparable(e)), None)
+    history.append(entry)
+    report["history"] = history[-limit:]
+    with Path(path).open("w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return previous, entry
 
 
 def check_regression(

@@ -16,6 +16,12 @@ Writes are atomic (a uniquely named temp file + ``os.replace``) so a
 crashed or killed run can never leave a torn entry; unreadable entries
 are treated as misses and overwritten; stale temp files orphaned by a
 crashed writer are swept on first use.
+
+The cache is size-capped: when the entries exceed ``max_bytes`` the
+oldest (by modification time) are evicted first -- entries are pure
+derived data, so eviction only ever costs re-simulation.  Enforcement
+is opportunistic (every :data:`_PRUNE_EVERY_STORES` stores) plus
+on-demand via :meth:`ResultDiskCache.prune` (``repro cache --prune``).
 """
 
 from __future__ import annotations
@@ -52,23 +58,35 @@ def content_key(payload: dict[str, Any]) -> str:
 #: and removed by the sweep; younger ones may belong to a live process.
 _ORPHAN_MAX_AGE_SECONDS = 3600.0
 
+#: Default size cap: far above any one bench session's footprint, low
+#: enough that months of sweeps cannot silently fill a disk.
+DEFAULT_MAX_BYTES = 2 * 1024**3
+
+#: Opportunistic cap enforcement period (stores between prunes); keeps
+#: the common store path O(1) while bounding overshoot to ~64 entries.
+_PRUNE_EVERY_STORES = 64
+
 
 class ResultDiskCache:
     """A directory of ``<key[:2]>/<key>.json`` result entries.
 
     Args:
         root: cache directory (created lazily on first store).
+        max_bytes: size cap enforced oldest-first (None disables it).
 
     Attributes:
         hits / misses / stores: per-instance access counters (useful for
             asserting that a warm bench session re-simulates nothing).
+        evictions: entries removed by cap enforcement on this instance.
     """
 
-    def __init__(self, root: str | Path) -> None:
+    def __init__(self, root: str | Path, max_bytes: int | None = DEFAULT_MAX_BYTES) -> None:
         self.root = Path(root)
+        self.max_bytes = max_bytes
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.evictions = 0
         self._swept = False
 
     def _path(self, key: str) -> Path:
@@ -140,6 +158,53 @@ class ResultDiskCache:
                 pass
             raise
         self.stores += 1
+        if self.max_bytes is not None and self.stores % _PRUNE_EVERY_STORES == 0:
+            self.prune()
+
+    # ------------------------------------------------------------ size cap
+
+    def _entries(self) -> list[tuple[float, int, Path]]:
+        """Every entry as ``(mtime, size, path)`` (unreadable ones skipped)."""
+        entries = []
+        if not self.root.exists():
+            return entries
+        for path in self.root.glob("*/*.json"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue  # concurrently evicted
+            entries.append((stat.st_mtime, stat.st_size, path))
+        return entries
+
+    def total_bytes(self) -> int:
+        """Current on-disk size of all entries."""
+        return sum(size for _, size, _ in self._entries())
+
+    def prune(self, max_bytes: int | None = None) -> tuple[int, int]:
+        """Evict oldest-first until the cache fits in ``max_bytes``.
+
+        ``max_bytes`` defaults to the instance cap; pass an explicit
+        value (e.g. 0 to empty the cache) to override it.  Returns
+        ``(entries_removed, bytes_freed)``.
+        """
+        cap = self.max_bytes if max_bytes is None else max_bytes
+        if cap is None:
+            return 0, 0
+        entries = sorted(self._entries())
+        total = sum(size for _, size, _ in entries)
+        removed = freed = 0
+        for _, size, path in entries:
+            if total <= cap:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue  # another process won the race; its size still counts
+            total -= size
+            removed += 1
+            freed += size
+        self.evictions += removed
+        return removed, freed
 
     def clear(self) -> None:
         """Delete every cached entry (the whole cache directory)."""

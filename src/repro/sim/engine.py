@@ -34,6 +34,7 @@ from repro.common.addressing import word_mask_for
 from repro.common.config import MachineConfig, SimulationConfig
 from repro.common.errors import SimulationError
 from repro.metrics.results import RunMetrics
+from repro.obs.taps import EngineObserver
 from repro.sim.processor import CpuStatus, Processor
 from repro.sim.sync import BarrierManager, LockManager
 from repro.trace.events import Barrier, LockAcquire, LockRelease, MemRef, Prefetch
@@ -136,6 +137,17 @@ class SimulationEngine:
         self._audit: EngineAuditor | None = (
             EngineAuditor(self) if sim_config.audit else None
         )
+        #: Flag-gated observability taps (None when disabled).  Like the
+        #: auditor, every hook site is an ``if self._obs is not None``
+        #: branch; additionally the main loop routes observed runs
+        #: through the generic handlers instead of the hit-streak fast
+        #: path (bit-identical by contract), so taps only need to exist
+        #: in the generic code.
+        self._obs: EngineObserver | None = (
+            EngineObserver(self) if sim_config.observe else None
+        )
+        if self._obs is not None:
+            self.bus.observer = self._obs
 
     # ------------------------------------------------------------- main loop
 
@@ -195,6 +207,7 @@ class SimulationEngine:
             for proc in procs
         ]
         audit = self._audit
+        obs = self._obs
         pending: tuple[int, int, int, int, int] | None = None
         while True:
             if pending is not None:
@@ -221,6 +234,15 @@ class SimulationEngine:
             proc, events, num_events, metrics, mshr_fills, by_block, remote_caches = ctx[a]
             proc.scheduled = False
             now = time
+            if obs is not None:
+                # Observed runs take the generic handlers so every tap
+                # site fires; the fast path below replicates them bit
+                # for bit (golden-tested), so results are unchanged.
+                if proc.in_access:
+                    self._try_access(proc, now)
+                else:
+                    self._dispatch(proc, now)
+                continue
             while True:  # ---------------- hit-streak fast path ----------------
                 if proc.in_access:
                     self._try_access(proc, now)
@@ -333,6 +355,7 @@ class SimulationEngine:
             # Conservation identities check the derived stall cycles, so
             # finalize must run after the loop above.
             audit=self._audit.finalize() if self._audit is not None else None,
+            obs=self._obs.finalize(exec_cycles) if self._obs is not None else None,
         )
 
     # ------------------------------------------------------------ heap utils
@@ -383,6 +406,8 @@ class SimulationEngine:
         if not proc.gap_done and event.gap > 0:
             proc.gap_done = True
             proc.metrics.busy_cycles += event.gap
+            if self._obs is not None:
+                self._obs.on_busy(proc.cpu, now, event.gap)
             self._schedule_cpu(proc, now + event.gap)
             return
         proc.gap_done = True  # gap (possibly zero) consumed
@@ -449,29 +474,48 @@ class SimulationEngine:
     def _dispatch_prefetch(self, proc: Processor, event: Prefetch, now: int) -> None:
         block = event.addr & self._block_mask
         metrics = proc.metrics
+        obs = self._obs
         if proc.mshr.lookup(block) is not None:
             # A fill for this block is already in flight; squash.
             metrics.prefetches_issued += 1
             metrics.prefetch_squashed += 1
             metrics.busy_cycles += self._issue_cost
+            if obs is not None:
+                obs.on_prefetch(proc.cpu, "squash", block, now)
+                obs.on_busy(proc.cpu, now, self._issue_cost)
             self._retire(proc, now + self._issue_cost)
             return
         if proc.cache.lookup_prefetch(block):
             metrics.prefetches_issued += 1
             metrics.prefetch_hits += 1
             metrics.busy_cycles += self._issue_cost
+            if obs is not None:
+                obs.on_prefetch(proc.cpu, "hit", block, now)
+                obs.on_busy(proc.cpu, now, self._issue_cost)
             self._retire(proc, now + self._issue_cost)
             return
         if proc.mshr.prefetch_buffer_full:
             metrics.prefetch_buffer_stalls += 1
             proc.status = CpuStatus.STALLED_PFBUF
             self._pfbuf_waiters.append(proc.cpu)
+            if obs is not None:
+                obs.on_prefetch(proc.cpu, "buffer-stall", block, now)
             return
         metrics.prefetches_issued += 1
         metrics.prefetch_fills += 1
         metrics.busy_cycles += self._issue_cost
         intended = self._word_mask(event.addr, 4)
-        proc.mshr.start(block, is_prefetch=True, exclusive=event.exclusive, intended_word_mask=intended)
+        fill = proc.mshr.start(
+            block,
+            is_prefetch=True,
+            exclusive=event.exclusive,
+            intended_word_mask=intended,
+            now=now,
+        )
+        if obs is not None:
+            obs.on_prefetch(proc.cpu, "issue", block, now)
+            obs.on_busy(proc.cpu, now, self._issue_cost)
+            obs.on_mshr_start(proc.cpu, fill, now)
         txn = self.bus.make_fill(
             proc.cpu,
             block,
@@ -510,6 +554,8 @@ class SimulationEngine:
                     metrics.sync_misses += 1
                 elif in_flight.is_prefetch:
                     metrics.misses.prefetch_in_progress += 1
+                    if self._obs is not None:
+                        self._obs.on_prefetch(proc.cpu, "merge", block, now)
                 # else: merging with our own demand fill cannot happen --
                 # demand accesses are serialized per CPU.
             proc.status = CpuStatus.STALLED_FILL
@@ -543,6 +589,8 @@ class SimulationEngine:
             proc.cache.record_access(block, proc.acc_word_mask, now)
             cost = 1 + (_VICTIM_SWAP_CYCLES if result.victim_hit else 0)
             metrics.busy_cycles += cost
+            if self._obs is not None:
+                self._obs.on_busy(proc.cpu, now, cost)
             self._complete_access(proc, now + cost)
             return
 
@@ -550,12 +598,15 @@ class SimulationEngine:
         if not proc.acc_counted:
             proc.acc_counted = True
             self._classify_miss(proc, result.invalidation_miss, result.false_sharing)
-        proc.mshr.start(
+        fill = proc.mshr.start(
             block,
             is_prefetch=False,
             exclusive=proc.acc_write,
             intended_word_mask=proc.acc_word_mask,
+            now=now,
         )
+        if self._obs is not None:
+            self._obs.on_mshr_start(proc.cpu, fill, now)
         txn = self.bus.make_fill(
             proc.cpu,
             block,
@@ -600,6 +651,9 @@ class SimulationEngine:
         """Run the access continuation at ``time`` and step the CPU."""
         if self._audit is not None:
             self._audit.on_access_complete(proc)
+        obs = self._obs
+        if obs is not None and proc.acc_missed:
+            obs.on_miss_stall(proc.cpu, proc.acc_block, proc.acc_start, time, proc.acc_sync)
         cont = proc.acc_cont
         metrics = proc.metrics
         if proc.acc_sync:
@@ -619,6 +673,8 @@ class SimulationEngine:
             waiter = self.locks.release(lock_id, proc.cpu)
             if waiter is not None:
                 wproc = self.procs[waiter]
+                if obs is not None:
+                    obs.on_sync_wait(waiter, wproc.block_started, time, "lock-wait", lock_id)
                 wproc.metrics.sync_wait_cycles += time - wproc.block_started
                 self._schedule_cpu(wproc, time)
             self._retire(proc, time)
@@ -635,6 +691,10 @@ class SimulationEngine:
             else:
                 for cpu in woken:
                     wproc = self.procs[cpu]
+                    if obs is not None:
+                        obs.on_sync_wait(
+                            cpu, wproc.block_started, time, "barrier-wait", barrier_id
+                        )
                     wproc.metrics.sync_wait_cycles += time - wproc.block_started
                     self._schedule_cpu(wproc, time)
                 self._retire(proc, time)
@@ -670,6 +730,7 @@ class SimulationEngine:
 
         exclusive = txn.kind is TransactionKind.FILL_EX
         op = BusOp.READ_EX if exclusive else BusOp.READ
+        obs = self._obs
         others_have = False
         for proc in self.procs:
             if proc.cpu == txn.cpu:
@@ -677,11 +738,20 @@ class SimulationEngine:
             had, _supplied = proc.cache.snoop(txn.block, op, txn.word_mask)
             if had:
                 others_have = True
+                if obs is not None:
+                    obs.on_snoop(
+                        proc.cpu,
+                        txn.cpu,
+                        txn.block,
+                        now,
+                        "invalidate" if exclusive else "downgrade",
+                    )
             remote_fill = proc.mshr.lookup(txn.block)
             if remote_fill is not None and remote_fill.granted and not remote_fill.poisoned:
                 others_have = True
                 if exclusive:
-                    proc.mshr.snoop_invalidate(txn.block, txn.word_mask)
+                    if proc.mshr.snoop_invalidate(txn.block, txn.word_mask) and obs is not None:
+                        obs.on_snoop(proc.cpu, txn.cpu, txn.block, now, "poison")
                 elif remote_fill.fill_state.is_exclusive:
                     # A read serialized behind a concurrent exclusive
                     # fill: both copies land SHARED.  For an in-flight
@@ -706,11 +776,15 @@ class SimulationEngine:
 
     def _grant_upgrade(self, txn: BusTransaction, now: int) -> None:
         proc = self.procs[txn.cpu]
+        obs = self._obs
         for other in self.procs:
             if other.cpu == txn.cpu:
                 continue
-            other.cache.snoop(txn.block, BusOp.UPGRADE, txn.word_mask)
-            other.mshr.snoop_invalidate(txn.block, txn.word_mask)
+            had, _supplied = other.cache.snoop(txn.block, BusOp.UPGRADE, txn.word_mask)
+            if had and obs is not None:
+                obs.on_snoop(other.cpu, txn.cpu, txn.block, now, "invalidate")
+            if other.mshr.snoop_invalidate(txn.block, txn.word_mask) and obs is not None:
+                obs.on_snoop(other.cpu, txn.cpu, txn.block, now, "poison")
 
         if proc.status is not CpuStatus.STALLED_UPGRADE or proc.waiting_block != txn.block:
             raise SimulationError(f"upgrade granted for cpu {txn.cpu} not waiting on it")
@@ -721,6 +795,8 @@ class SimulationEngine:
                 self._note_remote_write(proc, txn.block, proc.acc_word_mask)
             proc.cache.record_access(txn.block, proc.acc_word_mask, now)
             proc.metrics.busy_cycles += 1
+            if obs is not None:
+                obs.on_busy(txn.cpu, now, 1)
             proc.waiting_block = -1
             proc.status = CpuStatus.RUNNING
             self._complete_access(proc, txn.completion_time)
@@ -740,6 +816,8 @@ class SimulationEngine:
 
     def _fill_done(self, proc: Processor, block: int, time: int) -> None:
         fill = proc.mshr.finish(block)
+        if self._obs is not None:
+            self._obs.on_mshr_finish(proc.cpu, fill, time)
         if fill.poisoned:
             writeback = proc.cache.install_poisoned(block, fill.poisoned_word_mask, time)
         else:
@@ -763,6 +841,8 @@ class SimulationEngine:
                 # word to the CPU as the fill arrives.  The line itself
                 # stays INVALID in the cache.
                 proc.metrics.busy_cycles += 1
+                if self._obs is not None:
+                    self._obs.on_busy(proc.cpu, time, 1)
                 proc.cache.record_access(block, proc.acc_word_mask, time)
                 if proc.acc_write and not proc.acc_sync:
                     self._note_remote_write(proc, block, proc.acc_word_mask)

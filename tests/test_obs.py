@@ -1,0 +1,322 @@
+"""Tests for the observability subsystem (:mod:`repro.obs`).
+
+The load-bearing guarantees:
+
+* **Non-interference** -- an observed run returns bit-identical
+  ``RunMetrics`` to an unobserved one (the taps are read-only and the
+  engine's fast-path bypass is itself bit-identical by contract).
+* **Exact reconciliation** -- every windowed series integrates to its
+  end-of-run aggregate to the cycle (``ObsReport.reconcile`` is empty).
+* **Valid export** -- the Chrome trace JSON is loadable and every
+  ``"X"`` event carries name/ph/ts/dur/pid/tid.
+* **Bounded overhead** -- taps cost wall time, but only a small
+  constant factor.
+"""
+
+import json
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import MachineConfig, SimulationConfig
+from repro.experiments.runner import ExperimentRunner
+from repro.metrics.results import RunMetrics
+from repro.obs.export import chrome_trace, write_chrome_trace
+from repro.obs.sampler import ObsReport, WindowedSampler, _acc
+from repro.obs.tracer import PID_BUS, PID_CPU, ObsEvent, TimelineTracer
+from repro.prefetch.strategies import NP, PREF, PWS
+
+settings.register_profile("repro-ci", derandomize=True)
+settings.load_profile("repro-ci")
+
+
+def _run(workload, strategy, *, observe, num_cpus=4, scale=0.1, **sim_kwargs):
+    runner = ExperimentRunner(
+        num_cpus=num_cpus,
+        seed=42,
+        scale=scale,
+        sim_config=SimulationConfig(observe=observe, **sim_kwargs),
+    )
+    return runner.run(workload, strategy, MachineConfig(num_cpus=num_cpus))
+
+
+# ----------------------------------------------------------- non-interference
+
+
+class TestNonInterference:
+    @pytest.mark.parametrize("workload", ["Water", "Mp3d"])
+    @pytest.mark.parametrize("strategy", [NP, PREF, PWS], ids=lambda s: s.name)
+    def test_observe_off_and_on_bit_identical(self, workload, strategy):
+        """Taps never perturb simulated state (sync-heavy Mp3d included)."""
+        base = _run(workload, strategy, observe=False)
+        observed = _run(workload, strategy, observe=True)
+        assert observed.obs is not None
+        assert base.obs is None
+        # Strip the telemetry payload and compare everything else.
+        base_dict = base.to_dict()
+        obs_dict = observed.to_dict()
+        obs_dict.pop("obs")
+        assert obs_dict == base_dict
+
+    def test_observe_off_carries_no_payload(self):
+        result = _run("Water", NP, observe=False)
+        assert result.obs is None
+        assert "obs" not in result.to_dict()
+
+
+# ----------------------------------------------------------- reconciliation
+
+
+class TestReconciliation:
+    @pytest.mark.parametrize("strategy", [NP, PREF, PWS], ids=lambda s: s.name)
+    @pytest.mark.parametrize("window", [64, 4096])
+    def test_windowed_series_reconcile_exactly(self, strategy, window):
+        result = _run("Water", strategy, observe=True, observe_window=window)
+        report = result.obs
+        assert report.reconcile(result) == []
+        # Spot-check the headline identity explicitly.
+        assert sum(report.bus_busy) == result.bus.busy_cycles
+        for cpu in result.per_cpu:
+            assert sum(report.cpu_busy[cpu.cpu]) == cpu.busy_cycles
+            assert sum(report.cpu_sync[cpu.cpu]) == cpu.sync_wait_cycles
+            assert sum(report.cpu_stall[cpu.cpu]) == cpu.stall_cycles
+
+    def test_tier_partition_and_prefetch_share(self):
+        result = _run("Water", PWS, observe=True)
+        report = result.obs
+        for w in range(report.num_windows):
+            assert (
+                report.bus_demand[w] + report.bus_writeback[w] + report.bus_prefetch[w]
+                == report.bus_busy[w]
+            )
+        # A prefetching run puts prefetch traffic on the bus somewhere.
+        assert sum(report.bus_prefetch) > 0
+
+    def test_report_round_trips_through_run_metrics_json(self):
+        result = _run("Mp3d", PWS, observe=True)
+        restored = RunMetrics.from_dict(json.loads(json.dumps(result.to_dict())))
+        assert restored.obs is not None
+        assert restored.obs.to_dict() == result.obs.to_dict()
+        assert restored.obs.reconcile(restored) == []
+
+
+# -------------------------------------------------- sampler property tests
+
+
+class TestSamplerProperties:
+    @given(
+        window=st.integers(min_value=1, max_value=257),
+        slices=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=5000),
+                st.integers(min_value=0, max_value=400),
+                st.integers(min_value=0, max_value=2),
+            ),
+            max_size=60,
+        ),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_bus_slices_integrate_to_total(self, window, slices):
+        """sum over windows of bus occupancy == total occupied cycles."""
+        sampler = WindowedSampler(num_cpus=1, window=window)
+        total = 0
+        horizon = 1
+        for start, dur, tier in slices:
+            sampler.add_bus_slice(start, start + dur, tier)
+            total += dur
+            horizon = max(horizon, start + dur)
+        report = sampler.finalize(horizon, [horizon], [], 0)
+        assert sum(report.bus_busy) == total
+        for w in range(report.num_windows):
+            assert (
+                report.bus_demand[w] + report.bus_writeback[w] + report.bus_prefetch[w]
+                == report.bus_busy[w]
+            )
+
+    @given(
+        window=st.integers(min_value=1, max_value=100),
+        start=st.integers(min_value=0, max_value=1000),
+        length=st.integers(min_value=0, max_value=1000),
+        weight=st.integers(min_value=0, max_value=5),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_acc_is_exact(self, window, start, length, weight):
+        series = []
+        _acc(series, window, start, start + length, weight)
+        assert sum(series) == length * weight
+        # No cycle lands outside the windows the interval overlaps.
+        for w, value in enumerate(series):
+            lo, hi = w * window, (w + 1) * window
+            overlap = max(0, min(start + length, hi) - max(start, lo))
+            assert value == overlap * weight
+
+    @given(
+        window=st.integers(min_value=1, max_value=64),
+        moves=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=50),
+                st.integers(min_value=0, max_value=4),
+            ),
+            max_size=30,
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_step_integral_matches_brute_force(self, window, moves):
+        """The step-function integral equals a cycle-by-cycle sum."""
+        sampler = WindowedSampler(num_cpus=1, window=window)
+        level, t, horizon = 0, 0, 1
+        timeline = {}  # cycle -> level, brute-force reference
+        for dt, new_level in moves:
+            now = t + dt
+            for cycle in range(t, now):
+                timeline[cycle] = level
+            sampler.set_queue_depth(now, new_level)
+            t, level = now, new_level
+            horizon = max(horizon, now)
+        for cycle in range(t, horizon):
+            timeline[cycle] = level
+        report = sampler.finalize(horizon, [horizon], [], 0)
+        assert sum(report.bus_queue) == sum(timeline.values())
+        assert report.peak_queue == max(
+            [lvl for _, lvl in moves], default=0
+        )
+
+
+# ------------------------------------------------------------ trace export
+
+
+class TestChromeTraceExport:
+    def test_exported_trace_schema(self, tmp_path):
+        """Golden schema: valid JSON, complete events fully keyed."""
+        result = _run("Water", PREF, observe=True)
+        path = write_chrome_trace(result.obs, tmp_path / "trace.json", label="test")
+        trace = json.loads(path.read_text(encoding="utf-8"))
+        events = trace["traceEvents"]
+        assert trace["otherData"]["timestamp_unit"] == "cycles"
+        assert trace["otherData"]["exec_cycles"] == result.exec_cycles
+        phases = {e["ph"] for e in events}
+        assert "M" in phases and "X" in phases
+        for event in events:
+            assert event["ph"] in ("M", "X", "i")
+            if event["ph"] == "M":
+                assert event["name"] in ("process_name", "thread_name")
+                assert "name" in event["args"]
+                continue
+            for key in ("name", "ph", "ts", "pid", "tid"):
+                assert key in event, f"missing {key}: {event}"
+            if event["ph"] == "X":
+                assert "dur" in event and event["dur"] >= 0
+            else:
+                assert event["s"] == "t"
+        # The bus track records occupancy spans; a prefetching Water run
+        # records prefetch instants on the cpu track.
+        assert any(e["ph"] == "X" and e["pid"] == PID_BUS for e in events)
+        assert any(
+            e["ph"] == "i" and e["pid"] == PID_CPU and e["cat"] == "prefetch"
+            for e in events
+        )
+
+    def test_metadata_names_every_cpu_thread(self):
+        result = _run("Water", NP, observe=True)
+        trace = chrome_trace(result.obs)
+        thread_names = {
+            (e["pid"], e["tid"]): e["args"]["name"]
+            for e in trace["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        for cpu in range(result.obs.num_cpus):
+            assert thread_names[(PID_CPU, cpu)] == f"cpu{cpu}"
+        assert thread_names[(PID_BUS, 0)] == "bus"
+
+    def test_obs_event_round_trip(self):
+        span = ObsEvent("X", "bus", "READ", 10, 32, PID_BUS, 0, {"block": 7})
+        instant = ObsEvent("i", "prefetch", "issue", 4, 0, PID_CPU, 2, None)
+        for event in (span, instant):
+            restored = ObsEvent.from_dict(event.to_dict())
+            assert restored.to_dict() == event.to_dict()
+
+
+# ------------------------------------------------------------- ring buffer
+
+
+class TestTimelineTracer:
+    def test_ring_keeps_most_recent(self):
+        tracer = TimelineTracer(capacity=3)
+        for i in range(10):
+            tracer.instant("prefetch", "issue", i, PID_CPU, 0)
+        assert len(tracer) == 3
+        assert tracer.total == 10
+        assert tracer.dropped == 7
+        assert [e.ts for e in tracer.events()] == [7, 8, 9]
+
+    def test_zero_capacity_counts_everything_as_dropped(self):
+        tracer = TimelineTracer(capacity=0)
+        tracer.span("bus", "READ", 0, 8, PID_BUS, 0)
+        assert len(tracer) == 0
+        assert tracer.dropped == 1
+
+    def test_engine_honours_trace_capacity(self):
+        result = _run("Water", NP, observe=True, observe_trace_capacity=16)
+        report = result.obs
+        assert len(report.timeline) == 16
+        assert report.timeline_dropped > 0
+        # Sampler aggregates remain lossless regardless of drops.
+        assert sum(report.bus_busy) == result.bus.busy_cycles
+
+
+# ---------------------------------------------------------------- overhead
+
+
+class TestOverhead:
+    def test_taps_on_overhead_bounded(self):
+        """Observation may cost wall time, but only a small factor.
+
+        The bound is deliberately generous (6x): this is a tripwire for
+        accidentally quadratic taps, not a performance benchmark.
+        """
+
+        def wall(observe):
+            t0 = time.perf_counter()
+            _run("Water", PWS, observe=observe, scale=0.2)
+            return time.perf_counter() - t0
+
+        wall(False)  # warm imports and trace generation paths
+        off = min(wall(False) for _ in range(2))
+        on = min(wall(True) for _ in range(2))
+        assert on < off * 6 + 0.05
+
+
+# ---------------------------------------------------------------- CLI smoke
+
+
+class TestTimelineCli:
+    def test_timeline_quick_smoke(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "trace.json"
+        assert (
+            main(
+                [
+                    "timeline",
+                    "--workload",
+                    "water",
+                    "--quick",
+                    "--out",
+                    str(out),
+                ]
+            )
+            == 0
+        )
+        trace = json.loads(out.read_text(encoding="utf-8"))
+        assert trace["traceEvents"]
+        printed = capsys.readouterr().out
+        assert "bus util" in printed
+        assert "(exact)" in printed
+
+    def test_timeline_rejects_unknown_workload(self, capsys):
+        from repro.cli import main
+
+        assert main(["timeline", "--workload", "nosuch", "--quick"]) == 2
+        assert "unknown workload" in capsys.readouterr().err.lower()

@@ -21,6 +21,7 @@ from repro.experiments.runner import ExperimentRunner
 from repro.metrics.results import CpuMetrics, MissCounts, RunMetrics
 from repro.perf.bench import (
     MicrobenchResult,
+    append_history,
     check_regression,
     load_report,
     run_microbench,
@@ -326,3 +327,137 @@ class TestBench:
         assert main(args) == 0
         out = capsys.readouterr().out
         assert "regression check" in out
+
+
+# ------------------------------------------------------- cache size cap
+
+
+class TestDiskCacheSizeCap:
+    def _fill(self, cache, n, size=200):
+        import os
+
+        for i in range(n):
+            key = content_key({"k": i})
+            cache.store(key, {"pad": "x" * size, "i": i}, {"k": i})
+            # Distinct mtimes so oldest-first ordering is deterministic.
+            path = cache._path(key)
+            os.utime(path, (1000.0 + i, 1000.0 + i))
+        return [content_key({"k": i}) for i in range(n)]
+
+    def test_prune_evicts_oldest_first(self, tmp_path):
+        cache = ResultDiskCache(tmp_path / "c", max_bytes=None)
+        keys = self._fill(cache, 6)
+        entry_size = cache._path(keys[0]).stat().st_size
+        removed, freed = cache.prune(max_bytes=entry_size * 3)
+        assert removed == 3
+        assert freed == entry_size * 3
+        assert cache.evictions == 3
+        # The three *oldest* are gone; the newest three survive.
+        for key in keys[:3]:
+            assert cache.load(key) is None
+        for key in keys[3:]:
+            assert cache.load(key) is not None
+
+    def test_prune_noop_under_cap(self, tmp_path):
+        cache = ResultDiskCache(tmp_path / "c")
+        self._fill(cache, 3)
+        assert cache.prune() == (0, 0)
+        assert len(cache) == 3
+
+    def test_prune_to_zero_empties_the_cache(self, tmp_path):
+        cache = ResultDiskCache(tmp_path / "c", max_bytes=None)
+        self._fill(cache, 4)
+        total = cache.total_bytes()
+        removed, freed = cache.prune(max_bytes=0)
+        assert (removed, freed) == (4, total)
+        assert len(cache) == 0
+        assert cache.total_bytes() == 0
+
+    def test_store_enforces_cap_opportunistically(self, tmp_path):
+        from repro.perf.diskcache import _PRUNE_EVERY_STORES
+
+        # Cap sized to hold only a few entries; after a prune-period of
+        # stores the cache must have shrunk back under it.
+        cache = ResultDiskCache(tmp_path / "c", max_bytes=1)
+        for i in range(_PRUNE_EVERY_STORES):
+            cache.store(content_key({"k": i}), {"i": i}, {"k": i})
+        assert cache.evictions > 0
+        assert len(cache) < _PRUNE_EVERY_STORES
+
+    def test_cli_cache_prune(self, tmp_path, capsys):
+        from repro.cli import main
+
+        cache = ResultDiskCache(tmp_path / "c", max_bytes=None)
+        self._fill(cache, 4)
+        args = ["cache", "--dir", str(tmp_path / "c")]
+        assert main(args) == 0  # report only, nothing removed
+        assert len(cache) == 4
+        assert main(args + ["--prune", "--max-bytes", "0"]) == 0
+        assert len(cache) == 0
+        out = capsys.readouterr().out
+        assert "pruned 4 entries" in out
+
+
+# ------------------------------------------------------- bench history
+
+
+class TestBenchHistory:
+    def _result(self, eps=100000.0, **kw):
+        base = dict(
+            workload="Water",
+            num_cpus=2,
+            scale=0.05,
+            seed=42,
+            events=1000,
+            runs=1,
+            wall_seconds=0.01,
+            events_per_sec=eps,
+            engine_version="1",
+        )
+        base.update(kw)
+        return MicrobenchResult(**base)
+
+    def test_first_entry_has_no_previous(self, tmp_path):
+        path = tmp_path / "bench.json"
+        previous, entry = append_history(self._result(), path)
+        assert previous is None
+        assert entry["events_per_sec"] == 100000.0
+        assert entry["timestamp"]
+        assert load_report(path)["history"] == [entry]
+
+    def test_previous_is_most_recent_comparable(self, tmp_path):
+        path = tmp_path / "bench.json"
+        append_history(self._result(eps=100.0), path)
+        append_history(self._result(eps=200.0, num_cpus=4), path)  # frame differs
+        append_history(self._result(eps=300.0), path, quick=True)  # calibration differs
+        previous, _ = append_history(self._result(eps=400.0), path)
+        assert previous["events_per_sec"] == 100.0
+        assert len(load_report(path)["history"]) == 4
+
+    def test_history_is_trimmed_to_limit(self, tmp_path):
+        path = tmp_path / "bench.json"
+        for i in range(6):
+            append_history(self._result(eps=float(i)), path, limit=4)
+        history = load_report(path)["history"]
+        assert len(history) == 4
+        assert [e["events_per_sec"] for e in history] == [2.0, 3.0, 4.0, 5.0]
+
+    def test_history_survives_update_report(self, tmp_path):
+        path = tmp_path / "bench.json"
+        append_history(self._result(), path)
+        update_report(self._result(eps=123456.0), path)
+        report = load_report(path)
+        assert report["current"]["events_per_sec"] == 123456.0
+        assert len(report["history"]) == 1
+
+    def test_cli_bench_appends_history(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = str(tmp_path / "bench.json")
+        args = ["bench", "--quick", "--cpus", "2", "--scale", "0.05", "--file", path]
+        assert main(args + ["--update"]) == 0
+        assert main(args) == 0
+        history = load_report(path)["history"]
+        assert len(history) == 2
+        out = capsys.readouterr().out
+        assert "history" in out
