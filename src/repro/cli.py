@@ -14,6 +14,13 @@ Commands:
   print the windowed telemetry as sparklines and export the event
   timeline as Chrome trace JSON (Perfetto-loadable);
 * ``cache`` -- inspect or prune the on-disk result cache;
+* ``fleet`` -- run a strategy/latency grid with full fleet telemetry:
+  live worker progress + ETA, run-ledger records, stall watchdog,
+  optional per-worker profiling, Prometheus/JSON metrics export;
+* ``drift`` -- paper-drift gate: replay the key Tullsen & Eggers
+  comparisons (speedup extremes, miss-rate directions, bus-utilization
+  ordering) against tolerance bands; nonzero exit on divergence;
+* ``ledger`` -- query and summarize the append-only run ledger;
 * ``list`` -- available workloads, strategies and experiments.
 
 Examples::
@@ -23,6 +30,9 @@ Examples::
     python -m repro analyze --workload Pverify
     python -m repro bench --quick
     python -m repro timeline --workload water --quick
+    python -m repro fleet --workloads Water,Mp3d --workers 4 --profile
+    python -m repro drift --quick
+    python -m repro ledger --tail 5
     python -m repro cache --prune
 """
 
@@ -350,18 +360,20 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         }
         print(f"headline experiment: {headline['wall_seconds']:.1f}s end to end")
     if args.update:
-        update_report(result, args.file, headline=headline)
+        update_report(result, args.file, headline=headline, quick=args.quick)
         print(f"updated {args.file}")
         _print_trend(*append_history(result, args.file, quick=args.quick))
         return 0
-    ok, reference, ratio = check_regression(
-        result.events_per_sec, report, tolerance=1.0 - args.min_ratio
+    ok, reference, ratio, note = check_regression(
+        result.events_per_sec, report, tolerance=1.0 - args.min_ratio, quick=args.quick
     )
     if reference is not None:
         print(
             f"regression check vs committed {reference:,.0f} events/sec: "
             f"ratio {ratio:.2f} ({'ok' if ok else 'REGRESSION'})"
         )
+    if note:
+        print(f"note: {note}")
     _print_trend(*append_history(result, args.file, quick=args.quick))
     return 0 if ok else 1
 
@@ -420,6 +432,202 @@ def _cmd_audit(args: argparse.Namespace) -> int:
         if outcome.report.truncated:
             print(f"  ... and {outcome.report.truncated} more")
     return 1 if failed else 0
+
+
+def _telemetry_from_args(args: argparse.Namespace, progress: bool) -> "TelemetryConfig":
+    from repro.telemetry.fleet import TelemetryConfig
+    from repro.telemetry.ledger import RunLedger
+
+    ledger = None if getattr(args, "no_ledger", False) else RunLedger(args.ledger_dir)
+    return TelemetryConfig(
+        ledger=ledger,
+        progress=progress,
+        stall_timeout=args.stall_timeout,
+        kill_stalled=args.kill_stalled,
+        job_timeout=args.job_timeout,
+        profile=args.profile,
+    )
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.telemetry.fleet import FleetError
+
+    workloads = [_resolve_workload(w) for w in args.workloads.split(",")]
+    strategies = tuple(strategy_by_name(s) for s in args.strategies.split(","))
+    latencies = tuple(int(c) for c in args.latencies.split(","))
+    runner = ExperimentRunner(
+        num_cpus=args.cpus,
+        seed=args.seed,
+        scale=args.scale,
+        max_workers=args.workers,
+        disk_cache=args.cache or None,
+    )
+    machine = MachineConfig(num_cpus=args.cpus)
+    jobs = [
+        (workload, strategy, machine.with_transfer_cycles(cycles))
+        for workload in workloads
+        for cycles in latencies
+        for strategy in strategies
+    ]
+    telemetry = _telemetry_from_args(args, progress=not args.no_progress)
+    print(
+        f"fleet: {len(jobs)} grid points ({len(workloads)} workloads x "
+        f"{len(strategies)} strategies x {len(latencies)} latencies), "
+        f"{args.workers or 1} worker(s), {args.cpus} CPUs, scale {args.scale}"
+    )
+    code = 0
+    try:
+        runner.run_many(jobs, telemetry=telemetry)
+    except FleetError as exc:
+        print(f"FAILED grid points ({len(exc.failures)}):")
+        for failure in exc.failures:
+            print(f"  {failure.label}: [{failure.kind}] {failure.message}")
+        code = 1
+    registry = telemetry.registry
+    families = telemetry.metrics()
+    print(
+        f"{families['runs'].value(outcome='ok'):.0f} runs ok, "
+        f"{families['events'].value():,.0f} events retired, "
+        f"{families['wall'].sum():.2f}s simulating"
+    )
+    if runner.disk_cache is not None:
+        stats = runner.disk_cache.stats()
+        print(
+            f"disk cache: {stats['hits']} hits / {stats['misses']} misses this "
+            f"session; {stats['entries']} entries on disk"
+        )
+    if telemetry.ledger is not None:
+        print(f"ledger: appended to {telemetry.ledger.path}")
+    if args.metrics_out:
+        out = Path(args.metrics_out)
+        registry.write(
+            prom_path=str(out.with_suffix(".prom")),
+            json_path=str(out.with_suffix(".json")),
+        )
+        print(f"metrics: wrote {out.with_suffix('.prom')} and {out.with_suffix('.json')}")
+    if args.profile:
+        print()
+        print(telemetry.merged_profile.render(n=args.profile_top))
+        if args.profile_out:
+            import json as json_module
+
+            Path(args.profile_out).parent.mkdir(parents=True, exist_ok=True)
+            Path(args.profile_out).write_text(
+                json_module.dumps(telemetry.merged_profile.to_json(), indent=2) + "\n",
+                encoding="utf-8",
+            )
+            print(f"profile: wrote {args.profile_out}")
+    return code
+
+
+def _cmd_drift(args: argparse.Namespace) -> int:
+    import json as json_module
+    from pathlib import Path
+
+    from repro.telemetry.drift import (
+        FULL_FRAME,
+        QUICK_FRAME,
+        collect_summaries,
+        evaluate,
+        summaries_from_ledger,
+    )
+    from repro.telemetry.fleet import FleetError
+    from repro.telemetry.ledger import RunLedger
+
+    frame = QUICK_FRAME if args.quick else FULL_FRAME
+    if args.from_ledger:
+        report = evaluate(
+            summaries_from_ledger(RunLedger(args.ledger_dir), frame), frame
+        )
+    else:
+        runner = ExperimentRunner(
+            num_cpus=frame.num_cpus,
+            seed=frame.seed,
+            scale=frame.scale,
+            max_workers=args.workers,
+            disk_cache=args.cache or None,
+        )
+        telemetry = _telemetry_from_args(args, progress=not args.no_progress)
+        try:
+            report = evaluate(
+                collect_summaries(runner, frame, telemetry=telemetry), frame
+            )
+        except FleetError as exc:
+            print(f"error: drift grid incomplete -- {exc}", file=sys.stderr)
+            return 2
+        if args.profile:
+            print(telemetry.merged_profile.render(n=args.profile_top))
+            if args.profile_out:
+                Path(args.profile_out).parent.mkdir(parents=True, exist_ok=True)
+                Path(args.profile_out).write_text(
+                    json_module.dumps(telemetry.merged_profile.to_json(), indent=2)
+                    + "\n",
+                    encoding="utf-8",
+                )
+        if args.metrics_out:
+            out = Path(args.metrics_out)
+            telemetry.registry.write(
+                prom_path=str(out.with_suffix(".prom")),
+                json_path=str(out.with_suffix(".json")),
+            )
+    print(report.render())
+    if args.json:
+        Path(args.json).parent.mkdir(parents=True, exist_ok=True)
+        Path(args.json).write_text(
+            json_module.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote {args.json}")
+    return 0 if report.passed else 1
+
+
+def _cmd_ledger(args: argparse.Namespace) -> int:
+    from repro.telemetry.ledger import RunLedger
+
+    ledger = RunLedger(args.ledger_dir)
+    summary = ledger.summarize()
+    if not summary["entries"]:
+        print(f"{ledger.path}: no entries")
+        return 0
+    outcomes = ", ".join(f"{k}={v}" for k, v in sorted(summary["outcomes"].items()))
+    cache = ", ".join(f"{k}={v}" for k, v in sorted(summary["cache"].items()))
+    print(
+        f"{ledger.path}: {summary['entries']} entries "
+        f"({summary['first']} .. {summary['last']})"
+    )
+    print(f"outcomes: {outcomes}; cache: {cache}")
+    print(
+        f"engine versions: {', '.join(summary['engine_versions'])}; "
+        f"{summary['wall_seconds']:.1f}s simulated wall time"
+    )
+    entries = ledger.query(
+        workload=args.workload and _resolve_workload(args.workload),
+        strategy=args.strategy,
+        outcome=args.outcome,
+    )
+    shown = entries[-args.tail :] if args.tail else []
+    if shown:
+        print()
+        for entry in shown:
+            label = f"{entry.workload}/{entry.strategy}"
+            if entry.restructured:
+                label += "+restructured"
+            transfer = entry.machine.get("transfer_cycles", "?")
+            line = (
+                f"{entry.timestamp}  {label}@{transfer}c  "
+                f"[{entry.outcome}/{entry.cache}]"
+            )
+            if entry.outcome == "ok" and entry.wall_seconds:
+                line += (
+                    f"  {entry.wall_seconds:.2f}s, "
+                    f"{entry.events_per_sec:,.0f} events/sec"
+                )
+            elif entry.error:
+                line += f"  {entry.error}"
+            print(line)
+    return 0
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -540,6 +748,88 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=42, help="workload seed (default 42)")
     p.add_argument("--verbose", action="store_true", help="print every configuration")
     p.set_defaults(func=_cmd_audit)
+
+    def add_telemetry_args(p: argparse.ArgumentParser) -> None:
+        from repro.telemetry.heartbeat import DEFAULT_STALL_TIMEOUT
+        from repro.telemetry.ledger import DEFAULT_LEDGER_DIR
+
+        p.add_argument("--workers", type=int, default=0, help="worker processes (default serial)")
+        p.add_argument(
+            "--ledger-dir", default=DEFAULT_LEDGER_DIR,
+            help=f"run-ledger directory (default {DEFAULT_LEDGER_DIR})",
+        )
+        p.add_argument("--no-ledger", action="store_true", help="record nothing to the ledger")
+        p.add_argument("--no-progress", action="store_true", help="disable the live progress line")
+        p.add_argument(
+            "--stall-timeout", type=float, default=DEFAULT_STALL_TIMEOUT,
+            help=f"heartbeat silence before a worker counts as stalled (default {DEFAULT_STALL_TIMEOUT:g}s)",
+        )
+        p.add_argument(
+            "--kill-stalled", action="store_true",
+            help="SIGKILL stalled workers (turns hangs into structured failures)",
+        )
+        p.add_argument(
+            "--job-timeout", type=float, default=None,
+            help="per-job result deadline in seconds (parallel backend only)",
+        )
+        p.add_argument(
+            "--profile", action="store_true",
+            help="cProfile every worker run; print the merged hot-function table",
+        )
+        p.add_argument(
+            "--profile-top", type=int, default=15, help="profile rows to print (default 15)"
+        )
+        p.add_argument("--profile-out", help="write the merged profile as JSON here")
+        p.add_argument(
+            "--metrics-out",
+            help="metrics export basename (writes <name>.prom and <name>.json)",
+        )
+        p.add_argument(
+            "--cache", default="results/.cache",
+            help="result disk cache directory ('' disables; default results/.cache)",
+        )
+
+    p = sub.add_parser(
+        "fleet", help="run a strategy/latency grid with live fleet telemetry"
+    )
+    p.add_argument("--workloads", default="Water", help="comma-separated workload names")
+    p.add_argument("--strategies", default="NP,PREF,EXCL,LPD,PWS")
+    p.add_argument("--latencies", default="4,8,16,32")
+    p.add_argument("--cpus", type=int, default=12, help="processor count (default 12)")
+    p.add_argument("--scale", type=float, default=1.0, help="workload scale (default 1.0)")
+    p.add_argument("--seed", type=int, default=42, help="workload seed (default 42)")
+    add_telemetry_args(p)
+    p.set_defaults(func=_cmd_fleet)
+
+    p = sub.add_parser(
+        "drift", help="check paper claims against tolerance bands (nonzero on drift)"
+    )
+    p.add_argument(
+        "--quick", action="store_true",
+        help="CI frame: 12 CPUs, scale 0.25, latency extremes only",
+    )
+    p.add_argument(
+        "--from-ledger", action="store_true",
+        help="replay grid summaries from the run ledger instead of simulating",
+    )
+    p.add_argument("--json", help="write the drift report as JSON here")
+    add_telemetry_args(p)
+    p.set_defaults(func=_cmd_drift)
+
+    p = sub.add_parser("ledger", help="query and summarize the run ledger")
+    from repro.telemetry.ledger import DEFAULT_LEDGER_DIR
+
+    p.add_argument(
+        "--ledger-dir", default=DEFAULT_LEDGER_DIR,
+        help=f"run-ledger directory (default {DEFAULT_LEDGER_DIR})",
+    )
+    p.add_argument("--tail", type=int, default=10, help="recent entries to print (default 10)")
+    p.add_argument("--workload", help="filter by workload (case-insensitive)")
+    p.add_argument("--strategy", help="filter by strategy name")
+    p.add_argument(
+        "--outcome", choices=("ok", "error", "timeout"), help="filter by outcome"
+    )
+    p.set_defaults(func=_cmd_ledger)
 
     p = sub.add_parser("list", help="available workloads/strategies/experiments")
     p.set_defaults(func=_cmd_list)

@@ -24,13 +24,30 @@ On top of the in-memory memo the runner optionally layers
   :class:`~concurrent.futures.ProcessPoolExecutor`.  Each simulation
   is a pure function of its inputs, so parallel results are
   *byte-identical* to serial ones; results always come back in job
-  order, never completion order.
+  order, never completion order; and
+* **fleet telemetry** (``telemetry=`` on :meth:`run_many`, see
+  :mod:`repro.telemetry`): a run ledger entry per simulation, live
+  worker heartbeats with a stall watchdog, per-run profiling and a
+  metrics registry.  Strictly opt-in -- without a
+  :class:`~repro.telemetry.fleet.TelemetryConfig` the runner takes its
+  original code paths and results are bit-identical.  Worker failures
+  in a telemetered batch never hang the pool or silently drop grid
+  points: every failed point is recorded (ledger ``outcome: error`` /
+  ``timeout``) and surfaced in one structured
+  :class:`~repro.telemetry.fleet.FleetError`.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+import os
+import queue as queue_module
+import signal
+import sys
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Any
@@ -42,6 +59,14 @@ from repro.perf.diskcache import ResultDiskCache, content_key
 from repro.prefetch.insertion import insert_prefetches
 from repro.prefetch.strategies import NP, PrefetchStrategy
 from repro.sim.engine import ENGINE_VERSION, simulate
+from repro.telemetry.fleet import (
+    FleetError,
+    JobFailure,
+    TelemetryConfig,
+    run_telemetered_job,
+)
+from repro.telemetry.heartbeat import FleetMonitor, Watchdog, render_fleet_progress
+from repro.telemetry.ledger import LedgerEntry
 from repro.trace.stream import MultiTrace
 from repro.workloads.registry import generate_workload
 
@@ -285,6 +310,7 @@ class ExperimentRunner:
     def run_many(
         self,
         jobs: list[tuple],
+        telemetry: TelemetryConfig | None = None,
     ) -> list[RunMetrics]:
         """Simulate a batch of configurations, in parallel if configured.
 
@@ -296,6 +322,17 @@ class ExperimentRunner:
         fans out over a process pool; results are returned in **job
         order** regardless of completion order, and -- simulation being
         a pure function -- are byte-identical to a serial run.
+
+        With a :class:`~repro.telemetry.fleet.TelemetryConfig` the
+        batch additionally appends a run-ledger entry per disk hit and
+        per fresh simulation, streams worker heartbeats to a live fleet
+        progress line with a stall watchdog, optionally profiles each
+        worker run, and updates the config's metrics registry.  A
+        worker failure no longer aborts the batch mid-flight: every
+        failed grid point is recorded in the ledger (``outcome:
+        error``/``timeout``) and collected into one
+        :class:`~repro.telemetry.fleet.FleetError` raised after all
+        surviving points have been stored.
         """
         norm: list[tuple[str, PrefetchStrategy, MachineConfig, bool]] = []
         for job in jobs:
@@ -306,21 +343,37 @@ class ExperimentRunner:
                 workload, strategy, machine, restructured = job
             norm.append((workload, strategy, machine, restructured))
 
+        metrics = telemetry.metrics() if telemetry is not None else None
         results: list[RunMetrics | None] = [None] * len(norm)
         todo: dict[tuple, list[int]] = {}
+        recorded: set[tuple] = set()
         for i, (workload, strategy, machine, restructured) in enumerate(norm):
             key = (workload, restructured, _strategy_key(strategy), _machine_key(machine))
             cached = self._results.get(key)
+            hit_kind = "memo"
             if cached is None:
                 cached = self._disk_load(workload, strategy, machine, restructured)
                 if cached is not None:
                     self._results[key] = cached
+                    hit_kind = "hit"
             if cached is not None:
                 results[i] = cached
+                if telemetry is not None and key not in recorded:
+                    recorded.add(key)
+                    metrics["cache"].inc(result=hit_kind)
+                    if hit_kind == "hit":
+                        # Memo hits stay out of the ledger: they were
+                        # ledgered when first simulated or disk-loaded.
+                        metrics["runs"].inc(outcome="ok")
+                        self._ledger_run(telemetry, norm[i], cached, cache="hit")
             else:
                 todo.setdefault(key, []).append(i)
 
         pending = [(key, norm[indices[0]]) for key, indices in todo.items()]
+        if telemetry is not None:
+            self._run_pending_telemetered(pending, todo, results, telemetry, metrics)
+            return results
+
         workers = self.max_workers or 1
         if len(pending) > 1 and workers > 1:
             with ProcessPoolExecutor(max_workers=min(workers, len(pending))) as pool:
@@ -350,6 +403,295 @@ class ExperimentRunner:
                 for i in todo[key]:
                     results[i] = result
         return results
+
+    # ------------------------------------------------------- telemetered path
+
+    def _job_label(self, job: tuple) -> str:
+        """Human-readable grid-point label for progress and failures."""
+        workload, strategy, machine, restructured = job
+        name = strategy.name if not restructured else f"{strategy.name}+restructured"
+        transfer = machine.describe().get("transfer_cycles", "?")
+        return f"{workload}/{name}@{transfer}c"
+
+    def _disk_cache_state(self) -> str:
+        """Ledger cache field for a fresh run: ``"miss"`` or ``"off"``."""
+        active = (
+            self.disk_cache is not None
+            and not self.sim_config.audit
+            and not self.sim_config.observe
+        )
+        return "miss" if active else "off"
+
+    def _ledger_run(
+        self,
+        telemetry: TelemetryConfig,
+        job: tuple,
+        result: RunMetrics,
+        cache: str,
+        wall_seconds: float = 0.0,
+        events: int = 0,
+        worker_pid: int = 0,
+    ) -> None:
+        """Append one successful run to the ledger (no-op without one)."""
+        if telemetry.ledger is None:
+            return
+        workload, strategy, machine, restructured = job
+        telemetry.ledger.append(
+            LedgerEntry(
+                config_key=content_key(
+                    self._cache_payload(workload, strategy, machine, restructured)
+                ),
+                workload=workload,
+                restructured=restructured,
+                strategy=strategy.name,
+                machine=machine.describe(),
+                num_cpus=self.num_cpus,
+                seed=self.seed,
+                scale=self.scale,
+                engine_version=ENGINE_VERSION,
+                outcome="ok",
+                cache=cache,
+                wall_seconds=round(wall_seconds, 6),
+                events=events,
+                events_per_sec=round(events / wall_seconds, 3) if wall_seconds > 0 else 0.0,
+                worker_pid=worker_pid or os.getpid(),
+                summary=result.describe(),
+            )
+        )
+
+    def _ledger_failure(
+        self,
+        telemetry: TelemetryConfig,
+        job: tuple,
+        outcome: str,
+        message: str,
+    ) -> None:
+        """Append one failed run to the ledger (no-op without one)."""
+        if telemetry.ledger is None:
+            return
+        workload, strategy, machine, restructured = job
+        telemetry.ledger.append(
+            LedgerEntry(
+                config_key=content_key(
+                    self._cache_payload(workload, strategy, machine, restructured)
+                ),
+                workload=workload,
+                restructured=restructured,
+                strategy=strategy.name,
+                machine=machine.describe(),
+                num_cpus=self.num_cpus,
+                seed=self.seed,
+                scale=self.scale,
+                engine_version=ENGINE_VERSION,
+                outcome=outcome,
+                cache="off",
+                worker_pid=os.getpid(),
+                error=message,
+            )
+        )
+
+    def _accept_envelope(
+        self,
+        key: tuple,
+        job: tuple,
+        envelope: dict[str, Any],
+        todo: dict[tuple, list[int]],
+        results: list[RunMetrics | None],
+        telemetry: TelemetryConfig,
+        metrics: dict[str, Any],
+    ) -> None:
+        """Store one telemetered worker result: memo, disk, ledger, metrics."""
+        result = RunMetrics.from_dict(envelope["metrics"])
+        self._disk_store(*job, result)
+        self._results[key] = result
+        for i in todo[key]:
+            results[i] = result
+        wall = envelope["wall_seconds"]
+        events = envelope["events"]
+        cache_state = self._disk_cache_state()
+        metrics["runs"].inc(outcome="ok")
+        metrics["cache"].inc(result=cache_state)
+        metrics["events"].inc(events)
+        metrics["wall"].observe(wall)
+        if telemetry.profile:
+            telemetry.merged_profile.merge(envelope["profile_rows"])
+        self._ledger_run(
+            telemetry,
+            job,
+            result,
+            cache=cache_state,
+            wall_seconds=wall,
+            events=events,
+            worker_pid=envelope["worker_pid"],
+        )
+
+    def _run_pending_telemetered(
+        self,
+        pending: list[tuple[tuple, tuple]],
+        todo: dict[tuple, list[int]],
+        results: list[RunMetrics | None],
+        telemetry: TelemetryConfig,
+        metrics: dict[str, Any],
+    ) -> None:
+        """Execute the uncached grid points with full fleet telemetry.
+
+        Parallel batches stream heartbeats over a manager queue; serial
+        ones over an in-process queue (same monitor, same progress
+        line).  ``job_timeout`` and the stall watchdog only *kill* on
+        the parallel backend -- in-process there is no one to kill --
+        but stalls are still flagged.  Failures are collected, ledgered
+        and raised once at the end as a :class:`FleetError`; surviving
+        points are stored normally first.
+        """
+        if not pending:
+            return
+        labels = {j: self._job_label(job) for j, (_key, job) in enumerate(pending)}
+        failures: list[JobFailure] = []
+        workers = self.max_workers or 1
+        parallel = len(pending) > 1 and workers > 1
+
+        def fail(j: int, job: tuple, kind: str, message: str) -> None:
+            failures.append(JobFailure(index=j, label=labels[j], kind=kind, message=message))
+            metrics["runs"].inc(outcome=kind)
+            self._ledger_failure(telemetry, job, kind, message)
+
+        watchdog = Watchdog(
+            stall_timeout=telemetry.stall_timeout,
+            kill=telemetry.kill_stalled and parallel,
+        )
+        render = render_fleet_progress if telemetry.progress else None
+
+        if parallel:
+            manager = multiprocessing.Manager()
+            beat_queue: Any = manager.Queue()
+        else:
+            manager = None
+            beat_queue = queue_module.SimpleQueue()
+        monitor = FleetMonitor(beat_queue, labels, watchdog=watchdog, render=render)
+        try:
+            with monitor:
+                if parallel:
+                    self._drain_telemetered_pool(
+                        pending, todo, results, telemetry, metrics, beat_queue, monitor, fail
+                    )
+                else:
+                    for j, (key, job) in enumerate(pending):
+                        workload, strategy, machine, restructured = job
+                        try:
+                            envelope = run_telemetered_job(
+                                workload,
+                                restructured,
+                                self.num_cpus,
+                                self.seed,
+                                self.scale,
+                                strategy,
+                                machine,
+                                self.sim_config,
+                                j,
+                                labels[j],
+                                queue=beat_queue,
+                                heartbeat_interval=telemetry.heartbeat_interval,
+                                profile=telemetry.profile,
+                            )
+                        except Exception as exc:
+                            fail(j, job, "error", str(exc) or type(exc).__name__)
+                        else:
+                            self._accept_envelope(
+                                key, job, envelope, todo, results, telemetry, metrics
+                            )
+                        monitor.mark_done(j)
+        finally:
+            if manager is not None:
+                manager.shutdown()
+            if telemetry.progress:
+                sys.stderr.write("\n")
+                sys.stderr.flush()
+        if failures:
+            heads = "; ".join(f"{f.label}: {f.message}" for f in failures[:3])
+            more = f" (+{len(failures) - 3} more)" if len(failures) > 3 else ""
+            raise FleetError(
+                f"{len(failures)} of {len(pending)} grid points failed -- {heads}{more}",
+                failures,
+            )
+
+    def _drain_telemetered_pool(
+        self,
+        pending: list[tuple[tuple, tuple]],
+        todo: dict[tuple, list[int]],
+        results: list[RunMetrics | None],
+        telemetry: TelemetryConfig,
+        metrics: dict[str, Any],
+        beat_queue: Any,
+        monitor: FleetMonitor,
+        fail: Any,
+    ) -> None:
+        """Fan pending jobs over a pool; never hang on a dead worker.
+
+        Each future is awaited with ``telemetry.job_timeout``; on expiry
+        the worker (known from its heartbeats) is killed so pool
+        shutdown cannot block forever.  A killed or crashed worker
+        breaks the pool -- its own future and any still-unfinished ones
+        raise :class:`BrokenProcessPool` and are recorded as structured
+        failures (``timeout`` for jobs the watchdog flagged, ``error``
+        otherwise); completed results are kept.
+        """
+        labels = {j: self._job_label(job) for j, (_key, job) in enumerate(pending)}
+        workers = self.max_workers or 1
+        with ProcessPoolExecutor(max_workers=min(workers, len(pending))) as pool:
+            futures = [
+                pool.submit(
+                    run_telemetered_job,
+                    workload,
+                    restructured,
+                    self.num_cpus,
+                    self.seed,
+                    self.scale,
+                    strategy,
+                    machine,
+                    self.sim_config,
+                    j,
+                    labels[j],
+                    beat_queue,
+                    telemetry.heartbeat_interval,
+                    telemetry.profile,
+                )
+                for j, (_key, (workload, strategy, machine, restructured)) in enumerate(
+                    pending
+                )
+            ]
+            for j, ((key, job), future) in enumerate(zip(pending, futures)):
+                try:
+                    envelope = future.result(timeout=telemetry.job_timeout)
+                except FuturesTimeout:
+                    fail(
+                        j,
+                        job,
+                        "timeout",
+                        f"no result within {telemetry.job_timeout:g}s",
+                    )
+                    pid = monitor.jobs[j].pid
+                    if pid:
+                        try:
+                            os.kill(pid, signal.SIGKILL)
+                        except OSError:
+                            pass
+                except BrokenProcessPool:
+                    stalled = monitor.jobs[j].stalled
+                    fail(
+                        j,
+                        job,
+                        "timeout" if stalled else "error",
+                        "worker killed after heartbeat stall"
+                        if stalled
+                        else "worker pool broke (a worker process died)",
+                    )
+                except Exception as exc:
+                    fail(j, job, "error", str(exc) or type(exc).__name__)
+                else:
+                    self._accept_envelope(
+                        key, job, envelope, todo, results, telemetry, metrics
+                    )
+                monitor.mark_done(j)
 
     def compare(
         self,

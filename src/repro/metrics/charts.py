@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Mapping, Sequence
 
-__all__ = ["bar_chart", "line_chart", "sparkline", "stacked_bar_chart"]
+__all__ = ["bar_chart", "line_chart", "progress_bar", "sparkline", "stacked_bar_chart"]
 
 _FULL = "█"
 _STACK_GLYPHS = "█▓▒░▚▞▘"
@@ -27,6 +27,22 @@ _SPARK_GLYPHS = "▁▂▃▄▅▆▇█"
 
 def _fmt(value: float) -> str:
     return f"{value:.3f}" if value < 10 else f"{value:.1f}"
+
+
+def progress_bar(completed: float, total: float, width: int = 24) -> str:
+    """A fixed-width completion bar: ``[████████▏·············]``.
+
+    ``completed``/``total`` are clamped to [0, 1]; a zero or negative
+    ``total`` renders an empty bar.  Partial cells use eighth-block
+    glyphs so progress moves visibly even on long batches.
+    """
+    fraction = 0.0 if total <= 0 else min(1.0, max(0.0, completed / total))
+    eighths = round(fraction * width * 8)
+    full, rem = divmod(eighths, 8)
+    cells = _FULL * full
+    if rem and full < width:
+        cells += "▏▎▍▌▋▊▉"[rem - 1]
+    return "[" + cells.ljust(width, "·") + "]"
 
 
 def sparkline(

@@ -204,6 +204,18 @@ class RunMetrics:
         return sum(c.demand_refs for c in self.per_cpu)
 
     @property
+    def events_retired(self) -> int:
+        """Total trace events executed: demand + sync + prefetch.
+
+        The fleet-telemetry throughput unit (ledger ``events`` and
+        events/sec), counting everything the engine retired rather than
+        only rate-denominator references.
+        """
+        return sum(
+            c.demand_refs + c.sync_refs + c.prefetches_issued for c in self.per_cpu
+        )
+
+    @property
     def miss_counts(self) -> MissCounts:
         """Summed demand-miss breakdown."""
         total = MissCounts()

@@ -24,6 +24,8 @@ The report file (``BENCH_engine.json`` at the repo root) holds:
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 import time
 from dataclasses import asdict, dataclass
 from datetime import datetime, timezone
@@ -123,16 +125,47 @@ def load_report(path: str | Path = DEFAULT_REPORT) -> dict[str, Any] | None:
         return None
 
 
+def _write_report(report: dict[str, Any], path: str | Path) -> None:
+    """Atomically replace the report file.
+
+    A crash (or a concurrent reader) mid-update must never leave a
+    half-written ``BENCH_engine.json``: the JSON is rendered to a
+    temporary file in the same directory and swapped in with
+    ``os.replace``.
+    """
+    path = Path(path)
+    parent = path.parent if str(path.parent) else Path(".")
+    fd, tmp_name = tempfile.mkstemp(
+        dir=parent, prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
 def update_report(
     result: MicrobenchResult,
     path: str | Path = DEFAULT_REPORT,
     headline: dict[str, Any] | None = None,
+    quick: bool = False,
 ) -> dict[str, Any]:
     """Write ``result`` into the report as ``current`` and return it.
 
     An existing ``baseline`` block is preserved verbatim; when the file
     does not exist yet, the measurement itself seeds the baseline (the
-    first ever recording *is* the reference point).
+    first ever recording *is* the reference point).  ``current``
+    records the ``quick`` calibration flag alongside the engine
+    version, so later regression checks can refuse to compare across
+    calibrations or engine generations.  The file is replaced
+    atomically (see :func:`_write_report`).
     """
     report = load_report(path) or {}
     if "baseline" not in report:
@@ -143,13 +176,12 @@ def update_report(
         }
     baseline_eps = report["baseline"].get("events_per_sec") or result.events_per_sec
     current = asdict(result)
+    current["quick"] = quick
     current["speedup_vs_baseline"] = round(result.events_per_sec / baseline_eps, 3)
     report["current"] = current
     if headline is not None:
         report["headline"] = headline
-    with Path(path).open("w", encoding="utf-8") as fh:
-        json.dump(report, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    _write_report(report, path)
     return report
 
 
@@ -162,10 +194,11 @@ def append_history(
     """Append a timestamped measurement to the report's ``history`` list.
 
     Returns ``(previous_entry, new_entry)`` where the previous entry is
-    the most recent *comparable* one (same workload/CPUs/scale and the
-    same ``quick`` calibration -- a 1-second smoke run is noisier than a
-    10-second measurement, so mixing them would fake trends).  The list
-    is trimmed to ``limit`` entries, oldest first.
+    the most recent *comparable* one: same workload/CPUs/scale, same
+    ``quick`` calibration (a 1-second smoke run is noisier than a
+    10-second measurement) and the same engine version (a faster engine
+    is a different population) -- mixing any of these would fake
+    trends.  The list is trimmed to ``limit`` entries, oldest first.
     """
     report = load_report(path) or {}
     history = report.get("history")
@@ -186,15 +219,13 @@ def append_history(
     def comparable(past: dict[str, Any]) -> bool:
         return all(
             past.get(k) == entry[k]
-            for k in ("workload", "num_cpus", "scale", "quick")
+            for k in ("workload", "num_cpus", "scale", "quick", "engine_version")
         )
 
     previous = next((e for e in reversed(history) if comparable(e)), None)
     history.append(entry)
     report["history"] = history[-limit:]
-    with Path(path).open("w", encoding="utf-8") as fh:
-        json.dump(report, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    _write_report(report, path)
     return previous, entry
 
 
@@ -202,21 +233,50 @@ def check_regression(
     measured_eps: float,
     report: dict[str, Any] | None,
     tolerance: float = 0.3,
-) -> tuple[bool, float | None, float | None]:
+    engine_version: str = ENGINE_VERSION,
+    quick: bool = False,
+) -> tuple[bool, float | None, float | None, str | None]:
     """Compare a fresh measurement against the committed report.
 
-    Returns ``(ok, reference_eps, ratio)``.  The reference is the
+    Returns ``(ok, reference_eps, ratio, note)``.  The reference is the
     committed ``current`` throughput (falling back to ``baseline``);
     the check fails when the measurement regresses by more than
-    ``tolerance`` (default 30 %).  With no usable report the check
-    passes vacuously.
+    ``tolerance`` (default 30 %).
+
+    The check refuses to compare across engine generations: when the
+    reference records a different ``engine_version`` than the running
+    engine, the measurement says nothing about a regression *in this
+    engine* and the check passes vacuously with an explanatory note
+    (also returned with no usable report at all).  Differing ``quick``
+    calibration keeps the check -- the best-of-N estimator measures the
+    same quantity, just noisier, and ``tolerance`` absorbs that -- but
+    the mismatch is called out in the note.
     """
     if not report:
-        return True, None, None
-    reference = (report.get("current") or {}).get("events_per_sec") or (
-        report.get("baseline") or {}
-    ).get("events_per_sec")
+        return True, None, None, "no committed report; check skipped"
+    source = report.get("current") or {}
+    reference = source.get("events_per_sec")
     if not reference:
-        return True, None, None
+        source = report.get("baseline") or {}
+        reference = source.get("events_per_sec")
+    if not reference:
+        return True, None, None, "report has no usable reference; check skipped"
+    ref_version = source.get("engine_version")
+    if ref_version is not None and str(ref_version) != str(engine_version):
+        return True, None, None, (
+            f"reference was measured on engine version {ref_version}, this is "
+            f"{engine_version}; not comparable -- re-record with `repro bench "
+            f"--update` (check skipped)"
+        )
+    note = None
+    ref_quick = source.get("quick")
+    if ref_quick is not None and bool(ref_quick) != bool(quick):
+        note = (
+            "calibrations differ (reference "
+            + ("quick" if ref_quick else "full")
+            + ", measurement "
+            + ("quick" if quick else "full")
+            + "); tolerance absorbs the extra noise"
+        )
     ratio = measured_eps / reference
-    return ratio >= (1.0 - tolerance), reference, ratio
+    return ratio >= (1.0 - tolerance), reference, ratio, note

@@ -206,6 +206,23 @@ class ResultDiskCache:
         self.evictions += removed
         return removed, freed
 
+    def stats(self) -> dict[str, int]:
+        """Session counters + on-disk footprint, as one JSON-safe snapshot.
+
+        The counters (hits/misses/stores/evictions) cover *this
+        instance's* lifetime; ``entries``/``bytes`` reflect the shared
+        on-disk state.  Consumed by fleet telemetry (``repro fleet``)
+        and useful anywhere the cache's effectiveness needs reporting.
+        """
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "entries": len(self),
+            "bytes": self.total_bytes(),
+        }
+
     def clear(self) -> None:
         """Delete every cached entry (the whole cache directory)."""
         if self.root.exists():

@@ -1,0 +1,85 @@
+"""Fleet-level experiment telemetry.
+
+Where :mod:`repro.obs` looks *inside one simulation* (event taps,
+timelines, windowed counters), this package looks *across runs*: what
+the experiment fleet is doing right now and what it has done before.
+
+* :mod:`~repro.telemetry.ledger` -- append-only JSONL run ledger: one
+  structured record per simulation (identity, outcome, cache status,
+  wall time, result summary) plus a query API.
+* :mod:`~repro.telemetry.heartbeat` -- live worker heartbeats, the
+  parent-side fleet monitor (progress + ETA) and the stall watchdog.
+* :mod:`~repro.telemetry.registry` -- dependency-free counters, gauges
+  and histograms with Prometheus-text and JSON export.
+* :mod:`~repro.telemetry.profiling` -- per-worker ``cProfile`` capture
+  merged into a fleet-wide hot-function table.
+* :mod:`~repro.telemetry.drift` -- paper-drift detection: replay the
+  key Tullsen & Eggers comparisons against tolerance bands.
+* :mod:`~repro.telemetry.fleet` -- :class:`TelemetryConfig` (the knob
+  bundle ``ExperimentRunner.run_many`` accepts) and the telemetered
+  pool worker.
+
+Telemetry is strictly opt-in: a runner without a
+:class:`~repro.telemetry.fleet.TelemetryConfig` takes its original
+code paths and produces bit-identical results.
+"""
+
+from repro.telemetry.drift import (
+    FULL_FRAME,
+    QUICK_FRAME,
+    Band,
+    DriftCheck,
+    DriftFrame,
+    DriftReport,
+    evaluate,
+    run_drift,
+    summaries_from_ledger,
+)
+from repro.telemetry.fleet import FleetError, JobFailure, TelemetryConfig
+from repro.telemetry.heartbeat import (
+    EngineSampler,
+    FleetMonitor,
+    Heartbeat,
+    HeartbeatSender,
+    JobProgress,
+    Watchdog,
+)
+from repro.telemetry.ledger import (
+    DEFAULT_LEDGER_DIR,
+    LEDGER_SCHEMA_VERSION,
+    LedgerEntry,
+    RunLedger,
+)
+from repro.telemetry.profiling import MergedProfile, profiled
+from repro.telemetry.registry import Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = [
+    "Band",
+    "Counter",
+    "DEFAULT_LEDGER_DIR",
+    "DriftCheck",
+    "DriftFrame",
+    "DriftReport",
+    "EngineSampler",
+    "FULL_FRAME",
+    "FleetError",
+    "FleetMonitor",
+    "Gauge",
+    "Heartbeat",
+    "HeartbeatSender",
+    "Histogram",
+    "JobFailure",
+    "JobProgress",
+    "LEDGER_SCHEMA_VERSION",
+    "LedgerEntry",
+    "MergedProfile",
+    "MetricsRegistry",
+    "QUICK_FRAME",
+    "RunLedger",
+    "TelemetryConfig",
+    "Watchdog",
+    "evaluate",
+    "profiled",
+    "run_drift",
+    "summaries_from_ledger",
+]

@@ -1,0 +1,487 @@
+"""Paper-drift detection: are we still reproducing the paper's claims?
+
+Every engine change re-derives the whole result set, so a subtle
+regression -- a mis-accounted stall cycle, a coherence shortcut -- shows
+up first as the *numbers silently walking away from the paper*.  This
+module replays the key comparisons of Tullsen & Eggers (NP vs
+PREF/EXCL/LPD/PWS speedups, miss-rate direction under prefetching,
+bus-utilization ordering and saturation) against tolerance bands and
+fails loudly on divergence.  ``repro drift`` is the CLI gate; CI runs
+the quick frame on every push.
+
+Two calibrated frames:
+
+* **full** -- the paper's frame (12 CPUs, scale 1.0, the 4..32-cycle
+  transfer sweep).  Bands anchor to the paper's headline numbers
+  (max PWS speedup 1.39, degradation at bus saturation) with the
+  tolerances recorded in DESIGN.md §5e.
+* **quick** -- 12 CPUs at scale 0.25 over the {4, 32} latency extremes:
+  small enough for CI, but -- unlike a reduced-CPU frame -- it keeps the
+  bus contended, so saturation behavior (the paper's central claim)
+  remains observable.
+
+Checks evaluate *summaries* (plain dicts keyed by grid point), which
+can come from a live :class:`~repro.experiments.runner.ExperimentRunner`
+(disk-cached, so a warm tree re-simulates nothing) or be replayed from
+a run ledger (:func:`summaries_from_ledger`) -- the drift gate then
+audits history without simulating at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Mapping
+
+from repro.common.errors import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runner imports telemetry)
+    from repro.experiments.runner import ExperimentRunner
+    from repro.telemetry.ledger import RunLedger
+
+__all__ = [
+    "Band",
+    "DriftCheck",
+    "DriftFrame",
+    "DriftReport",
+    "FULL_FRAME",
+    "QUICK_FRAME",
+    "collect_summaries",
+    "evaluate",
+    "run_drift",
+    "summaries_from_ledger",
+]
+
+#: The prefetch strategies drift compares against NP, by name.
+UNIPROCESSOR_STRATEGY_NAMES: tuple[str, ...] = ("PREF", "EXCL", "LPD")
+PREFETCH_STRATEGY_NAMES: tuple[str, ...] = UNIPROCESSOR_STRATEGY_NAMES + ("PWS",)
+ALL_STRATEGY_NAMES: tuple[str, ...] = ("NP",) + PREFETCH_STRATEGY_NAMES
+
+
+@dataclass(frozen=True)
+class Band:
+    """An inclusive tolerance band; ``None`` bounds are open."""
+
+    lo: float | None = None
+    hi: float | None = None
+
+    def contains(self, value: float) -> bool:
+        """True when ``value`` is within the band."""
+        if self.lo is not None and value < self.lo:
+            return False
+        if self.hi is not None and value > self.hi:
+            return False
+        return True
+
+    def describe(self) -> str:
+        lo = "-inf" if self.lo is None else f"{self.lo:g}"
+        hi = "+inf" if self.hi is None else f"{self.hi:g}"
+        return f"[{lo}, {hi}]"
+
+
+@dataclass(frozen=True)
+class DriftFrame:
+    """One calibrated drift-check configuration.
+
+    ``bands`` maps check name to its :class:`Band`; the check functions
+    in :func:`evaluate` look their band up by name, so recalibration is
+    data-only.
+    """
+
+    name: str
+    num_cpus: int
+    scale: float
+    seed: int
+    transfer_latencies: tuple[int, ...]
+    bands: Mapping[str, Band] = field(default_factory=dict)
+
+    @property
+    def slowest(self) -> int:
+        return max(self.transfer_latencies)
+
+    @property
+    def fastest(self) -> int:
+        return min(self.transfer_latencies)
+
+
+#: CI frame: the paper's 12 CPUs (bus stays contended) at reduced scale
+#: over the latency extremes.  Bands calibrated against the committed
+#: engine (version "2"); values are deterministic given (seed, scale),
+#: so the band width covers legitimate remodelling slack, not run noise.
+QUICK_FRAME = DriftFrame(
+    name="quick",
+    num_cpus=12,
+    scale=0.25,
+    seed=42,
+    transfer_latencies=(4, 32),
+    bands={
+        # Measured 1.567 (Topopt/PREF@4c); paper's fastest-bus max is 1.28.
+        "uni_max_speedup": Band(1.35, 1.75),
+        # Measured 1.799 (LocusRoute/PWS@4c); paper max 1.39.
+        "pws_max_speedup": Band(1.55, 2.00),
+        # Measured 0.999 (Pverify/LPD@32c): prefetching must stop paying
+        # at bus saturation (paper: down to 7% degradation).
+        "slow_bus_min_speedup": Band(0.85, 1.06),
+        # Measured 0.768 (Water) .. 0.986 (Mp3d): the slow bus saturates.
+        "np_slow_bus_utilization": Band(0.70, None),
+        # Measured >= 0.42 across workloads: utilization must climb
+        # steeply as the bus slows (Table 2's ordering).
+        "np_utilization_climb": Band(0.30, None),
+        # Direction checks: violation counts, must be exactly zero.
+        "cpu_miss_rate_reduced_violations": Band(None, 0),
+        "total_vs_cpu_miss_rate_violations": Band(None, 0),
+        "prefetch_bus_utilization_violations": Band(None, 0),
+    },
+)
+
+#: The paper frame.  Bands anchor to the abstract's numbers: "speedups
+#: no greater than 39%" (max PWS 1.39), uniprocessor-style max 1.28 on
+#: the fastest bus, degradation up to 7% at saturation.
+FULL_FRAME = DriftFrame(
+    name="full",
+    num_cpus=12,
+    scale=1.0,
+    seed=42,
+    transfer_latencies=(4, 8, 16, 32),
+    bands={
+        # Measured 1.207 (Mp3d/PREF@4c); paper 1.28 (fastest bus).
+        "uni_max_speedup": Band(1.08, 1.38),
+        # Measured 1.538 (LocusRoute/PWS@4c); paper 1.39 + remodelling slack.
+        "pws_max_speedup": Band(1.35, 1.70),
+        # Measured 1.004 (Water/EXCL@32c); paper's worst case is 0.93 --
+        # the claim is that prefetching stops paying, not that it must
+        # strictly degrade.
+        "slow_bus_min_speedup": Band(0.88, 1.06),
+        # Measured 0.614 (Water) .. 0.981 (Mp3d) at 32-cycle transfers:
+        # every sharing-heavy workload saturates; Water sets the floor.
+        "np_slow_bus_utilization": Band(0.55, None),
+        # Measured 0.495 (Water) .. 0.668 (Topopt).
+        "np_utilization_climb": Band(0.40, None),
+        "cpu_miss_rate_reduced_violations": Band(None, 0),
+        "total_vs_cpu_miss_rate_violations": Band(None, 0),
+        "prefetch_bus_utilization_violations": Band(None, 0),
+    },
+)
+
+
+@dataclass
+class DriftCheck:
+    """One evaluated claim."""
+
+    name: str
+    description: str
+    observed: float
+    band: Band
+    passed: bool
+    detail: str = ""
+
+    def render(self) -> str:
+        status = "ok  " if self.passed else "DRIFT"
+        line = (
+            f"  {status} {self.name}: {self.observed:.3f} in {self.band.describe()}"
+            f" -- {self.description}"
+        )
+        if self.detail and not self.passed:
+            line += f" [{self.detail}]"
+        return line
+
+
+@dataclass
+class DriftReport:
+    """All checks for one frame."""
+
+    frame: str
+    checks: list[DriftCheck]
+    grid_points: int
+
+    @property
+    def passed(self) -> bool:
+        """True when every check passed."""
+        return all(check.passed for check in self.checks)
+
+    @property
+    def failures(self) -> list[DriftCheck]:
+        return [check for check in self.checks if not check.passed]
+
+    def render(self) -> str:
+        head = (
+            f"paper-drift check ({self.frame} frame, {self.grid_points} grid points): "
+            f"{len(self.checks) - len(self.failures)}/{len(self.checks)} claims hold"
+        )
+        return "\n".join([head] + [check.render() for check in self.checks])
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe rendering (CI artifact)."""
+        return {
+            "frame": self.frame,
+            "passed": self.passed,
+            "grid_points": self.grid_points,
+            "checks": [
+                {
+                    "name": c.name,
+                    "description": c.description,
+                    "observed": c.observed,
+                    "band": {"lo": c.band.lo, "hi": c.band.hi},
+                    "passed": c.passed,
+                    "detail": c.detail,
+                }
+                for c in self.checks
+            ],
+        }
+
+
+# --------------------------------------------------------------- summaries
+
+SummaryKey = tuple[str, str, int]  # (workload, strategy, transfer_cycles)
+
+#: Fields a summary must carry for every check to be computable.
+_REQUIRED_FIELDS = (
+    "exec_cycles",
+    "cpu_miss_rate",
+    "total_miss_rate",
+    "bus_utilization",
+)
+
+
+def collect_summaries(
+    runner: "ExperimentRunner",
+    frame: DriftFrame,
+    telemetry: Any = None,
+) -> dict[SummaryKey, dict[str, Any]]:
+    """Simulate (or load from cache) the frame's grid; return summaries.
+
+    The runner must be configured with the frame's CPU count, seed and
+    scale (:func:`run_drift` builds one); the batch goes through
+    :meth:`~repro.experiments.runner.ExperimentRunner.run_many`, so
+    passing a :class:`~repro.telemetry.fleet.TelemetryConfig` records
+    ledger entries, heartbeats and profiles for the whole grid.
+    """
+    from repro.prefetch.strategies import strategy_by_name
+    from repro.workloads.registry import ALL_WORKLOAD_NAMES
+
+    jobs = []
+    keys: list[SummaryKey] = []
+    for workload in ALL_WORKLOAD_NAMES:
+        for cycles in frame.transfer_latencies:
+            machine = runner.base_machine().with_transfer_cycles(cycles)
+            for name in ALL_STRATEGY_NAMES:
+                jobs.append((workload, strategy_by_name(name), machine))
+                keys.append((workload, name, cycles))
+    results = runner.run_many(jobs, telemetry=telemetry)
+    return {key: result.describe() for key, result in zip(keys, results)}
+
+
+def summaries_from_ledger(
+    ledger: "RunLedger",
+    frame: DriftFrame,
+    engine_version: str | None = None,
+) -> dict[SummaryKey, dict[str, Any]]:
+    """Rebuild the frame's grid summaries from ledger history.
+
+    The newest ``outcome == "ok"`` entry wins per grid point; entries
+    from other frames (different CPU count / seed / scale / restructured
+    runs) are ignored.  Raises :class:`ReproError` when the ledger does
+    not cover the full grid -- a drift verdict from partial data would
+    be meaningless.
+    """
+    from repro.workloads.registry import ALL_WORKLOAD_NAMES
+
+    wanted: set[SummaryKey] = {
+        (workload, strategy, cycles)
+        for workload in ALL_WORKLOAD_NAMES
+        for strategy in ALL_STRATEGY_NAMES
+        for cycles in frame.transfer_latencies
+    }
+    found: dict[SummaryKey, dict[str, Any]] = {}
+    for entry in ledger.entries():
+        if entry.outcome != "ok" or entry.restructured:
+            continue
+        if (entry.num_cpus, entry.seed, entry.scale) != (
+            frame.num_cpus,
+            frame.seed,
+            frame.scale,
+        ):
+            continue
+        if engine_version is not None and entry.engine_version != engine_version:
+            continue
+        cycles = entry.machine.get("transfer_cycles")
+        key = (entry.workload, entry.strategy, cycles)
+        if key not in wanted:
+            continue
+        if not all(f in entry.summary for f in _REQUIRED_FIELDS):
+            continue
+        found[key] = entry.summary  # newest wins (entries are oldest-first)
+    missing = wanted - set(found)
+    if missing:
+        sample = ", ".join(
+            f"{w}/{s}@{c}c" for w, s, c in sorted(missing)[:5]
+        )
+        raise ReproError(
+            f"ledger covers {len(found)}/{len(wanted)} grid points of the "
+            f"{frame.name} frame; missing e.g. {sample}"
+        )
+    return found
+
+
+# -------------------------------------------------------------- evaluation
+
+
+def evaluate(
+    summaries: Mapping[SummaryKey, Mapping[str, Any]],
+    frame: DriftFrame,
+) -> DriftReport:
+    """Check the frame's claims against grid summaries."""
+    from repro.workloads.registry import ALL_WORKLOAD_NAMES
+
+    def speedup(workload: str, strategy: str, cycles: int) -> float:
+        base = summaries[(workload, "NP", cycles)]["exec_cycles"]
+        run = summaries[(workload, strategy, cycles)]["exec_cycles"]
+        if not run:
+            raise ReproError(f"{workload}/{strategy}@{cycles}c has no execution time")
+        return base / run
+
+    def argfmt(items: list[tuple[float, SummaryKey]]) -> str:
+        value, (w, s, c) = items[0]
+        return f"{w}/{s}@{c}c = {value:.3f}"
+
+    checks: list[DriftCheck] = []
+
+    def add(name: str, description: str, observed: float, detail: str = "") -> None:
+        band = frame.bands.get(name, Band())
+        checks.append(
+            DriftCheck(
+                name=name,
+                description=description,
+                observed=observed,
+                band=band,
+                passed=band.contains(observed),
+                detail=detail,
+            )
+        )
+
+    workloads = list(ALL_WORKLOAD_NAMES)
+
+    # --- speedup extremes (abstract / §4.2) -------------------------------
+    uni = sorted(
+        (
+            (speedup(w, s, c), (w, s, c))
+            for w in workloads
+            for s in UNIPROCESSOR_STRATEGY_NAMES
+            for c in frame.transfer_latencies
+        ),
+        reverse=True,
+    )
+    add(
+        "uni_max_speedup",
+        "max NP-relative speedup of PREF/EXCL/LPD (paper: 1.28 on the fastest bus)",
+        uni[0][0],
+        argfmt(uni),
+    )
+    pws = sorted(
+        ((speedup(w, "PWS", c), (w, "PWS", c)) for w in workloads for c in frame.transfer_latencies),
+        reverse=True,
+    )
+    add(
+        "pws_max_speedup",
+        "max NP-relative speedup of PWS (paper: 1.39)",
+        pws[0][0],
+        argfmt(pws),
+    )
+    slow = sorted(
+        (speedup(w, s, frame.slowest), (w, s, frame.slowest))
+        for w in workloads
+        for s in PREFETCH_STRATEGY_NAMES
+    )
+    add(
+        "slow_bus_min_speedup",
+        "min speedup at the slowest bus (paper: degradation up to 7% at saturation)",
+        slow[0][0],
+        argfmt(slow),
+    )
+
+    # --- bus saturation and ordering (Table 2) ----------------------------
+    np_slow = sorted(
+        (summaries[(w, "NP", frame.slowest)]["bus_utilization"], (w, "NP", frame.slowest))
+        for w in workloads
+    )
+    add(
+        "np_slow_bus_utilization",
+        f"min NP bus utilization at {frame.slowest}-cycle transfers (saturation region)",
+        np_slow[0][0],
+        argfmt(np_slow),
+    )
+    climb = sorted(
+        (
+            summaries[(w, "NP", frame.slowest)]["bus_utilization"]
+            - summaries[(w, "NP", frame.fastest)]["bus_utilization"],
+            (w, "NP", frame.slowest),
+        )
+        for w in workloads
+    )
+    add(
+        "np_utilization_climb",
+        "min utilization rise from fastest to slowest bus (Table 2 ordering)",
+        climb[0][0],
+        argfmt(climb),
+    )
+
+    # --- direction checks (Figure 1 / §4.1) -------------------------------
+    cpu_violations = []
+    tvc_violations = []
+    util_violations = []
+    for w in workloads:
+        for c in frame.transfer_latencies:
+            base = summaries[(w, "NP", c)]
+            for s in PREFETCH_STRATEGY_NAMES:
+                run = summaries[(w, s, c)]
+                if not run["cpu_miss_rate"] < base["cpu_miss_rate"]:
+                    cpu_violations.append(f"{w}/{s}@{c}c")
+                if not run["total_miss_rate"] >= run["cpu_miss_rate"]:
+                    tvc_violations.append(f"{w}/{s}@{c}c")
+                if run["bus_utilization"] < base["bus_utilization"] - 0.02:
+                    util_violations.append(f"{w}/{s}@{c}c")
+    add(
+        "cpu_miss_rate_reduced_violations",
+        "prefetch runs whose CPU miss rate did not drop below NP's",
+        float(len(cpu_violations)),
+        ", ".join(cpu_violations[:4]),
+    )
+    add(
+        "total_vs_cpu_miss_rate_violations",
+        "prefetch runs whose total miss rate fell below their CPU miss rate",
+        float(len(tvc_violations)),
+        ", ".join(tvc_violations[:4]),
+    )
+    add(
+        "prefetch_bus_utilization_violations",
+        "prefetch runs using measurably less bus than NP",
+        float(len(util_violations)),
+        ", ".join(util_violations[:4]),
+    )
+
+    return DriftReport(frame=frame.name, checks=checks, grid_points=len(summaries))
+
+
+def run_drift(
+    runner: "ExperimentRunner | None" = None,
+    quick: bool = False,
+    ledger: "RunLedger | None" = None,
+) -> DriftReport:
+    """One-call drift gate: build a runner for the frame, collect, evaluate.
+
+    ``ledger`` replays history instead of simulating (see
+    :func:`summaries_from_ledger`); otherwise ``runner`` (or a fresh
+    disk-cached one) simulates whatever the cache does not already hold.
+    """
+    frame = QUICK_FRAME if quick else FULL_FRAME
+    if ledger is not None:
+        return evaluate(summaries_from_ledger(ledger, frame), frame)
+    if runner is None:
+        from repro.experiments.runner import ExperimentRunner
+
+        runner = ExperimentRunner(
+            num_cpus=frame.num_cpus,
+            seed=frame.seed,
+            scale=frame.scale,
+            disk_cache="results/.cache",
+        )
+    return evaluate(collect_summaries(runner, frame), frame)

@@ -1,0 +1,216 @@
+"""Fleet plumbing: telemetry configuration and the telemetered worker job.
+
+:class:`TelemetryConfig` is the one knob bundle a caller hands to
+:meth:`repro.experiments.runner.ExperimentRunner.run_many`; ``None``
+(the default) keeps the runner on its original code paths, so
+un-telemetered runs stay bit-identical.  The config carries the ledger,
+progress rendering, heartbeat/watchdog tuning, per-job timeout,
+profiling switch, metrics registry and the fleet-wide merged profile.
+
+:func:`run_telemetered_job` is the process-pool worker for telemetered
+batches: the same generate → insert → simulate pipeline as the plain
+``_simulate_job``, plus a heartbeat sampler on the running engine, an
+optional ``cProfile`` wrap, and a result envelope with wall time,
+events retired and the worker PID -- everything a ledger entry needs.
+
+This module imports engine primitives directly (never the runner): the
+runner imports *us*, and the dependency edge stays one-way.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.common.config import MachineConfig, SimulationConfig
+from repro.common.errors import ReproError
+from repro.prefetch.insertion import insert_prefetches
+from repro.prefetch.strategies import PrefetchStrategy
+from repro.sim.engine import SimulationEngine
+from repro.telemetry.heartbeat import (
+    DEFAULT_BEAT_INTERVAL,
+    DEFAULT_STALL_TIMEOUT,
+    EngineSampler,
+    HeartbeatSender,
+)
+from repro.telemetry.ledger import RunLedger
+from repro.telemetry.profiling import MergedProfile, profiled
+from repro.telemetry.registry import MetricsRegistry
+from repro.trace.stream import MultiTrace
+from repro.workloads.registry import generate_workload
+
+__all__ = [
+    "FleetError",
+    "JobFailure",
+    "TelemetryConfig",
+    "run_telemetered_job",
+]
+
+
+class FleetError(ReproError):
+    """A telemetered batch finished with failed grid points.
+
+    Carries the structured :class:`JobFailure` list so callers (CLI,
+    tests) can report per-point causes instead of one opaque traceback.
+    """
+
+    def __init__(self, message: str, failures: list["JobFailure"]) -> None:
+        super().__init__(message)
+        self.failures = failures
+
+
+@dataclass(frozen=True)
+class JobFailure:
+    """One grid point that did not produce a result.
+
+    Attributes:
+        index: position in the (deduplicated) pending-job list.
+        label: human-readable grid-point label.
+        kind: ``"error"`` (worker raised) or ``"timeout"`` (watchdog
+            kill or ``job_timeout`` expiry).
+        message: one-line cause.
+    """
+
+    index: int
+    label: str
+    kind: str
+    message: str
+
+
+@dataclass
+class TelemetryConfig:
+    """Everything a telemetered batch needs, in one picklable-free bundle.
+
+    The config itself never crosses a process boundary -- workers get
+    only the queue and scalar knobs -- so it may hold live objects
+    (registry, merged profile, ledger).
+
+    Attributes:
+        ledger: run ledger to append to (None records nothing).
+        progress: render the live fleet progress line to stderr.
+        heartbeat_interval: seconds between worker heartbeats.
+        stall_timeout: heartbeat silence before the watchdog flags a job.
+        kill_stalled: SIGKILL stalled workers (turns a hang into a
+            structured ``timeout`` failure instead of waiting forever).
+        job_timeout: overall per-batch result deadline in seconds for
+            each pending job (None waits indefinitely); expiry is
+            recorded as a ``timeout`` failure.
+        profile: wrap each worker run in ``cProfile`` and merge the
+            results into :attr:`merged_profile`.
+        registry: metrics registry updated with run/cache/event counts
+            (a fresh one by default; share one across batches to
+            aggregate a session).
+        merged_profile: fleet-wide hot-function aggregate (filled only
+            when :attr:`profile` is set).
+    """
+
+    ledger: RunLedger | None = None
+    progress: bool = False
+    heartbeat_interval: float = DEFAULT_BEAT_INTERVAL
+    stall_timeout: float = DEFAULT_STALL_TIMEOUT
+    kill_stalled: bool = False
+    job_timeout: float | None = None
+    profile: bool = False
+    registry: MetricsRegistry = field(default_factory=MetricsRegistry)
+    merged_profile: MergedProfile = field(default_factory=MergedProfile)
+
+    def metrics(self) -> dict[str, Any]:
+        """The standard fleet metric families (created idempotently)."""
+        return {
+            "runs": self.registry.counter(
+                "repro_runs_total", "Simulation runs by outcome", ("outcome",)
+            ),
+            "cache": self.registry.counter(
+                "repro_cache_total", "Disk-cache lookups by result", ("result",)
+            ),
+            "events": self.registry.counter(
+                "repro_events_total", "Trace events retired by fresh runs"
+            ),
+            "wall": self.registry.histogram(
+                "repro_run_wall_seconds", "Wall time per fresh simulation run"
+            ),
+        }
+
+
+#: Per-worker-process clean-trace LRU for telemetered jobs, mirroring
+#: the runner's ``_WORKER_TRACES`` (separate dict: different module,
+#: same reuse pattern, no import cycle).
+_WORKER_TRACES: OrderedDict[tuple, MultiTrace] = OrderedDict()
+_WORKER_TRACE_LIMIT = 3
+
+
+def run_telemetered_job(
+    workload: str,
+    restructured: bool,
+    num_cpus: int,
+    seed: int,
+    scale: float,
+    strategy: PrefetchStrategy,
+    machine: MachineConfig,
+    sim_config: SimulationConfig | None,
+    job: int,
+    label: str,
+    queue: Any = None,
+    heartbeat_interval: float = DEFAULT_BEAT_INTERVAL,
+    profile: bool = False,
+) -> dict[str, Any]:
+    """Run one simulation in a worker, streaming heartbeats.
+
+    Same pipeline and wire format as the plain worker job -- the
+    ``metrics`` field of the returned envelope is byte-identical to an
+    un-telemetered run of the same inputs -- wrapped with:
+
+    * an :class:`EngineSampler` beating ``queue`` (when given) from a
+      daemon thread while the engine runs;
+    * optional ``cProfile`` capture (``profile_rows`` in the envelope);
+    * wall time, events retired and the worker PID for the ledger.
+    """
+    start = time.perf_counter()
+    sender = HeartbeatSender(queue, heartbeat_interval) if queue is not None else None
+
+    tkey = (workload, restructured, num_cpus, seed, scale)
+    trace = _WORKER_TRACES.get(tkey)
+    if trace is None:
+        trace = generate_workload(
+            workload,
+            num_cpus=num_cpus,
+            seed=seed,
+            scale=scale,
+            restructured=restructured,
+        )
+        _WORKER_TRACES[tkey] = trace
+        while len(_WORKER_TRACES) > _WORKER_TRACE_LIMIT:
+            _WORKER_TRACES.popitem(last=False)
+    else:
+        _WORKER_TRACES.move_to_end(tkey)
+
+    annotated, _report = insert_prefetches(trace, strategy, machine.cache)
+    total_events = sum(len(cpu_trace) for cpu_trace in annotated.cpus)
+    strategy_label = strategy.name if not restructured else f"{strategy.name}+restructured"
+
+    with profiled(profile) as profile_rows:
+        engine = SimulationEngine(
+            annotated, machine, sim_config if sim_config is not None else SimulationConfig()
+        )
+        if sender is not None:
+            sampler = EngineSampler(
+                engine, sender, job, label, total_events, heartbeat_interval
+            )
+            with sampler:
+                engine.run()
+        else:
+            engine.run()
+        result = engine.collect_metrics(strategy_label)
+
+    wall = time.perf_counter() - start
+    events = sum(proc.pc for proc in engine.procs)
+    return {
+        "metrics": result.to_dict(),
+        "wall_seconds": wall,
+        "events": events,
+        "worker_pid": os.getpid(),
+        "profile_rows": profile_rows,
+    }

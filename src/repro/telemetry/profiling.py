@@ -1,0 +1,126 @@
+"""Fleet profiling: per-run ``cProfile`` capture and fleet-wide merging.
+
+``--profile`` mode wraps each worker's simulation in a
+:class:`cProfile.Profile`; because profiles collected in worker
+processes cannot cross a pipe as ``pstats`` objects, each run's stats
+are flattened to plain dicts (:func:`profile_to_rows`), shipped back
+with the result, and merged in the parent into one fleet-wide
+hot-function table (:class:`MergedProfile`) -- call counts and times
+summed per function across every run in the batch.
+"""
+
+from __future__ import annotations
+
+import cProfile
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+__all__ = [
+    "MergedProfile",
+    "profile_to_rows",
+    "profiled",
+]
+
+
+def profile_to_rows(profile: cProfile.Profile) -> list[dict[str, Any]]:
+    """Flatten a finished profile into JSON/pickle-safe row dicts.
+
+    One row per profiled function: ``where`` (``file:line(name)`` for
+    Python code, ``{builtin}`` renderings for C calls), ``ncalls``
+    (primitive calls), ``tottime`` (exclusive) and ``cumtime``
+    (inclusive), both in seconds.
+    """
+    rows = []
+    for entry in profile.getstats():
+        code = entry.code
+        if isinstance(code, str):
+            where = f"{{{code}}}"
+        else:
+            where = f"{code.co_filename}:{code.co_firstlineno}({code.co_name})"
+        rows.append(
+            {
+                "where": where,
+                "ncalls": entry.callcount,
+                "tottime": entry.inlinetime,
+                "cumtime": entry.totaltime,
+            }
+        )
+    return rows
+
+
+@contextmanager
+def profiled(collect: bool) -> Iterator[list[dict[str, Any]]]:
+    """Context manager yielding the profile rows of its body.
+
+    With ``collect`` false the body runs unprofiled and the yielded
+    list stays empty -- callers keep a single code path.
+    """
+    rows: list[dict[str, Any]] = []
+    if not collect:
+        yield rows
+        return
+    profile = cProfile.Profile()
+    profile.enable()
+    try:
+        yield rows
+    finally:
+        profile.disable()
+        rows.extend(profile_to_rows(profile))
+
+
+class MergedProfile:
+    """Fleet-wide aggregation of per-run profile rows.
+
+    Functions are keyed by their ``where`` string; call counts and
+    times are summed across merged runs, so the hot-function table
+    reflects the whole batch, not one lucky grid point.
+    """
+
+    def __init__(self) -> None:
+        self.runs = 0
+        self._rows: dict[str, dict[str, Any]] = {}
+
+    def merge(self, rows: list[dict[str, Any]]) -> None:
+        """Fold one run's rows into the aggregate."""
+        if not rows:
+            return
+        self.runs += 1
+        for row in rows:
+            agg = self._rows.get(row["where"])
+            if agg is None:
+                self._rows[row["where"]] = dict(row)
+            else:
+                agg["ncalls"] += row["ncalls"]
+                agg["tottime"] += row["tottime"]
+                agg["cumtime"] += row["cumtime"]
+
+    def top(self, n: int = 20, by: str = "tottime") -> list[dict[str, Any]]:
+        """The ``n`` hottest functions sorted by ``tottime`` or ``cumtime``."""
+        if by not in ("tottime", "cumtime", "ncalls"):
+            raise ValueError(f"unknown sort key {by!r}")
+        return sorted(self._rows.values(), key=lambda r: r[by], reverse=True)[:n]
+
+    def render(self, n: int = 20, by: str = "tottime") -> str:
+        """Text hot-function table (CI artifact / terminal output)."""
+        rows = self.top(n, by)
+        if not rows:
+            return "no profile data collected"
+        lines = [
+            f"fleet profile: {self.runs} runs merged, top {len(rows)} by {by}",
+            f"{'ncalls':>12} {'tottime':>9} {'cumtime':>9}  function",
+        ]
+        for row in rows:
+            lines.append(
+                f"{row['ncalls']:>12,} {row['tottime']:>9.3f} {row['cumtime']:>9.3f}"
+                f"  {row['where']}"
+            )
+        return "\n".join(lines)
+
+    def to_json(self) -> dict[str, Any]:
+        """JSON-safe rendering of the full aggregate."""
+        return {
+            "runs": self.runs,
+            "functions": sorted(
+                self._rows.values(), key=lambda r: r["tottime"], reverse=True
+            ),
+        }

@@ -309,12 +309,63 @@ class TestBench:
 
     def test_check_regression(self):
         report = {"current": {"events_per_sec": 100000.0}}
-        ok, ref, ratio = check_regression(90000.0, report, tolerance=0.3)
+        ok, ref, ratio, note = check_regression(90000.0, report, tolerance=0.3)
         assert ok and ref == 100000.0 and ratio == pytest.approx(0.9)
-        ok, _, _ = check_regression(60000.0, report, tolerance=0.3)
+        assert note is None
+        ok, _, _, _ = check_regression(60000.0, report, tolerance=0.3)
         assert not ok
-        # no report -> vacuous pass
-        assert check_regression(1.0, None) == (True, None, None)
+        # no report -> vacuous pass, with a note saying so
+        ok, ref, ratio, note = check_regression(1.0, None)
+        assert (ok, ref, ratio) == (True, None, None)
+        assert "skipped" in note
+
+    def test_check_regression_engine_version_gate(self):
+        # A reference from another engine generation is not comparable:
+        # vacuous pass regardless of how bad the ratio looks.
+        report = {"current": {"events_per_sec": 100000.0, "engine_version": "1"}}
+        ok, ref, ratio, note = check_regression(
+            1000.0, report, tolerance=0.3, engine_version="2"
+        )
+        assert ok and ref is None and ratio is None
+        assert "engine version" in note
+        # Same version: the check runs normally.
+        report = {"current": {"events_per_sec": 100000.0, "engine_version": "2"}}
+        ok, _, _, note = check_regression(
+            50000.0, report, tolerance=0.3, engine_version="2"
+        )
+        assert not ok and note is None
+
+    def test_check_regression_notes_calibration_mismatch(self):
+        report = {
+            "current": {
+                "events_per_sec": 100000.0,
+                "engine_version": "2",
+                "quick": False,
+            }
+        }
+        ok, ref, _, note = check_regression(
+            90000.0, report, tolerance=0.3, engine_version="2", quick=True
+        )
+        assert ok and ref == 100000.0  # still checked...
+        assert "calibrations differ" in note  # ...but called out
+
+    def test_append_history_gates_on_engine_version(self, tmp_path):
+        path = tmp_path / "bench.json"
+        old = MicrobenchResult("Water", 2, 0.05, 42, 1000, 1, 0.01, 100000.0, "1")
+        append_history(old, path)
+        new = MicrobenchResult("Water", 2, 0.05, 42, 1000, 1, 0.005, 200000.0, "2")
+        previous, entry = append_history(new, path)
+        assert previous is None  # engine "1" history is not a comparable trend
+        assert entry["engine_version"] == "2"
+        previous, _ = append_history(new, path)
+        assert previous is not None  # but the "2" entry we just wrote is
+
+    def test_update_report_records_quick_flag(self, tmp_path):
+        path = tmp_path / "bench.json"
+        result = MicrobenchResult("Water", 2, 0.05, 42, 1000, 1, 0.01, 100000.0, "2")
+        report = update_report(result, path, quick=True)
+        assert report["current"]["quick"] is True
+        assert load_report(path)["current"]["quick"] is True
 
     def test_cli_bench_update_and_check(self, tmp_path, capsys):
         from repro.cli import main
