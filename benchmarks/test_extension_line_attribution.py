@@ -1,0 +1,44 @@
+"""Extension bench: dynamic line attribution vs. Table 4 restructuring.
+
+Table 4 reports that the Jeremiassen-Eggers restructuring removes the
+false-sharing misses of Topopt and Pverify; Table 3 says which misses
+those are.  The per-line heat profiler (:mod:`repro.obs.lineprof`)
+closes the loop from the measurement side: it blames individual data
+structures for the invalidation misses, and this bench asserts that the
+structures the *dynamic* profiler convicts are the ones the *static*
+advisor transforms -- and that re-running on the restructured layout
+collapses exactly their false-sharing misses, the measured counterpart
+of Table 4's miss-rate drops.  The rendered report lands in
+``results/extension_line_attribution.txt``.
+"""
+
+from repro.experiments import lineattr
+
+
+def test_extension_line_attribution(benchmark, ablation_runner, save_result):
+    result = benchmark.pedantic(
+        lambda: lineattr.run(ablation_runner),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("extension_line_attribution", lineattr.render(result))
+
+    for workload, cell in result.cells.items():
+        # Per-line attributions reconcile exactly with the end-of-run
+        # aggregates on both layouts.
+        assert cell.reconcile_problems == 0, workload
+        # The dynamic profiler and the static advisor convict the same
+        # structures (at least one agreed conviction per workload).
+        assert cell.matched, workload
+        # The top-blamed structure is one the advisor transforms, and
+        # the restructured layout removes its false-sharing misses --
+        # Table 4's story, measured per structure.
+        top = cell.families[0]
+        assert top.family in cell.matched, workload
+        assert top.fs_misses > 0, workload
+        assert top.fs_reduction >= 0.9, (workload, top.family, top.fs_reduction)
+        # Restructuring shrinks ping-pong, not just the miss taxonomy.
+        assert top.handoffs_restructured < top.handoffs, workload
+        # Prefetching was actually exercised on the profiled runs, so
+        # the efficacy ledger discriminates.
+        assert sum(cell.efficacy.values()) > 0, workload

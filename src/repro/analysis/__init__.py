@@ -13,7 +13,11 @@ implements working equivalents over our traces:
   named program arrays recorded in the trace metadata;
 * :mod:`repro.analysis.advisor` -- turns the profile into concrete
   layout recommendations (pad records to line size, group per-CPU data)
-  with estimated impact, i.e. a miniature Jeremiassen–Eggers advisor.
+  with estimated impact, i.e. a miniature Jeremiassen–Eggers advisor;
+* :mod:`repro.analysis.dynamic` -- the *measured* counterpart: folds
+  the per-line heat recorded by :mod:`repro.obs.lineprof` into
+  per-structure summaries, cross-references the advisor's static
+  verdicts, and renders the ``repro c2c`` report.
 
 Example::
 
@@ -27,14 +31,28 @@ Example::
 from repro.analysis.sharing import BlockSharing, SharingProfile, profile_sharing
 from repro.analysis.attribution import ArraySharingSummary, attribute_sharing
 from repro.analysis.advisor import Recommendation, advise, render_advice
+from repro.analysis.dynamic import (
+    StructureHeat,
+    attribute_lines,
+    blamed_families,
+    c2c_to_dict,
+    cross_reference,
+    render_c2c,
+)
 
 __all__ = [
     "ArraySharingSummary",
     "BlockSharing",
     "Recommendation",
     "SharingProfile",
+    "StructureHeat",
     "advise",
+    "attribute_lines",
     "attribute_sharing",
+    "blamed_families",
+    "c2c_to_dict",
+    "cross_reference",
     "profile_sharing",
     "render_advice",
+    "render_c2c",
 ]

@@ -13,6 +13,10 @@ Commands:
 * ``timeline`` -- run one configuration with the observability taps on,
   print the windowed telemetry as sparklines and export the event
   timeline as Chrome trace JSON (Perfetto-loadable);
+* ``c2c`` -- run one configuration with the per-cache-line heat
+  profiler on and render a ``perf c2c``-style report: hottest lines,
+  heat by data structure with the static advisor cross-referenced,
+  invalidation ping-pong, prefetch efficacy; optional JSON export;
 * ``cache`` -- inspect or prune the on-disk result cache;
 * ``fleet`` -- run a strategy/latency grid with full fleet telemetry:
   live worker progress + ETA, run-ledger records, stall watchdog,
@@ -30,6 +34,7 @@ Examples::
     python -m repro analyze --workload Pverify
     python -m repro bench --quick
     python -m repro timeline --workload water --quick
+    python -m repro c2c --workload pverify --strategy PWS --quick
     python -m repro fleet --workloads Water,Mp3d --workers 4 --profile
     python -m repro drift --quick
     python -m repro ledger --tail 5
@@ -51,6 +56,7 @@ from repro.experiments import (
     figure2,
     figure3,
     headline,
+    lineattr,
     saturation,
     table1,
     table2,
@@ -80,6 +86,7 @@ _EXPERIMENTS = {
     "headline": headline,
     "utilization": utilization,
     "saturation": saturation,
+    "lineattr": lineattr,
 }
 
 
@@ -296,6 +303,131 @@ def _cmd_timeline(args: argparse.Namespace) -> int:
         f"wrote {path} ({len(obs.timeline)} events, {obs.timeline_dropped} dropped; "
         f"load in Perfetto / chrome://tracing)"
     )
+    return 1 if problems else 0
+
+
+def _render_saved_c2c(data: dict) -> None:
+    """Summarize a previously exported c2c JSON document."""
+    from repro.metrics.charts import sparkline
+
+    label = data.get("label") or "(unlabelled)"
+    print(
+        f"{label}: {data.get('num_lines', 0)} lines "
+        f"({data.get('block_size', '?')}-byte blocks, "
+        f"{data.get('window_cycles', '?')}-cycle windows)"
+    )
+    eff = data.get("efficacy_totals") or {}
+    if any(eff.values()):
+        print("prefetch efficacy: " + " ".join(f"{k}={v}" for k, v in eff.items()))
+    structures = data.get("structures") or []
+    rows = [
+        [
+            s.get("name", "?"),
+            s.get("lines", 0),
+            s.get("cpu_misses", 0),
+            s.get("invalidation_misses", 0),
+            s.get("false_sharing_misses", 0),
+            s.get("stall_cycles", 0),
+            s.get("bus_cycles", 0),
+            s.get("handoffs", 0),
+            s.get("advised_action") or "-",
+        ]
+        for s in structures
+    ]
+    if rows:
+        print(
+            format_table(
+                ["Structure", "Lines", "Miss", "Inval", "FS", "Stall", "Bus", "Hoff", "Advisor"],
+                rows,
+                title="Heat by data structure (saved profile)",
+            )
+        )
+    series = data.get("inval_window_series") or []
+    if any(series):
+        print(f"invalidations/window (peak {max(series)}):\n  {sparkline(series)}")
+    blamed = data.get("blamed_families") or []
+    if blamed:
+        print("blamed for false sharing: " + ", ".join(blamed))
+
+
+def _cmd_c2c(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.analysis.dynamic import (
+        attribute_lines,
+        blamed_families,
+        c2c_to_dict,
+        cross_reference,
+        render_c2c,
+    )
+    from repro.common.config import SimulationConfig
+
+    if args.load:
+        path = Path(args.load)
+        if not path.exists() or path.stat().st_size == 0:
+            print(
+                f"{path}: no saved line profile "
+                f"(run `repro c2c --workload <name> --json {path}` first)"
+            )
+            return 0
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except ValueError as exc:
+            print(f"error: {path} is not a c2c JSON export: {exc}", file=sys.stderr)
+            return 2
+        _render_saved_c2c(data)
+        return 0
+    if not args.workload:
+        print("error: c2c requires --workload (or --load FILE)", file=sys.stderr)
+        return 2
+    workload = _resolve_workload(args.workload)
+    if args.quick:
+        args.cpus, args.scale = 4, 0.05
+    strategy = strategy_by_name(args.strategy)
+    runner = ExperimentRunner(
+        num_cpus=args.cpus,
+        seed=args.seed,
+        scale=args.scale,
+        sim_config=SimulationConfig(
+            observe=True,
+            observe_lines=True,
+            observe_window=args.window,
+            observe_trace_capacity=0,
+        ),
+    )
+    result = runner.run(workload, strategy, _machine(args), restructured=args.restructured)
+    profile = result.obs.lines
+    label = f"{workload}/{strategy.name}"
+    if args.restructured:
+        label += "+restructured"
+    if not profile.lines:
+        print(f"{label}: no line activity recorded (nothing missed or used the bus)")
+        return 0
+    arrays = runner.trace_metadata(workload, args.restructured).get("arrays") or []
+    recommendations = advise(runner.clean_trace(workload, restructured=args.restructured))
+    heats = cross_reference(attribute_lines(profile, arrays), recommendations)
+    print(render_c2c(profile, heats, top_lines=args.top, label=label))
+    blamed = blamed_families(heats)
+    if blamed:
+        print("blamed for false sharing: " + ", ".join(blamed))
+    problems = result.obs.reconcile(result)
+    if problems:
+        print(f"reconciliation: {len(problems)} MISMATCHES")
+        for problem in problems[:5]:
+            print(f"  {problem}")
+    else:
+        print("reconciliation: per-line sums match every end-of-run aggregate (exact)")
+    if args.json:
+        out = Path(args.json)
+        if out.parent != Path(""):
+            out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(
+            json.dumps(c2c_to_dict(profile, heats, label=label), indent=2, sort_keys=True)
+            + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote {out}")
     return 1 if problems else 0
 
 
@@ -587,9 +719,15 @@ def _cmd_ledger(args: argparse.Namespace) -> int:
     from repro.telemetry.ledger import RunLedger
 
     ledger = RunLedger(args.ledger_dir)
+    if not ledger.path.exists():
+        print(
+            f"{ledger.path}: no ledger recorded yet "
+            f"(run `repro fleet` or `repro drift` to create one)"
+        )
+        return 0
     summary = ledger.summarize()
     if not summary["entries"]:
-        print(f"{ledger.path}: no entries")
+        print(f"{ledger.path}: ledger exists but has no readable entries")
         return 0
     outcomes = ", ".join(f"{k}={v}" for k, v in sorted(summary["outcomes"].items()))
     cache = ", ".join(f"{k}={v}" for k, v in sorted(summary["cache"].items()))
@@ -730,6 +868,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_machine_args(p)
     p.set_defaults(func=_cmd_timeline)
+
+    p = sub.add_parser(
+        "c2c", help="per-cache-line heat report (perf c2c analogue)"
+    )
+    p.add_argument("--workload", help="workload name (case-insensitive)")
+    p.add_argument("--strategy", default="PWS", help="NP/PREF/EXCL/LPD/PWS/PBUF")
+    p.add_argument("--restructured", action="store_true")
+    p.add_argument(
+        "--quick", action="store_true", help="small 4-CPU, 0.05-scale run (CI smoke)"
+    )
+    p.add_argument(
+        "--top", type=int, default=15, help="hottest lines to print (default 15)"
+    )
+    p.add_argument(
+        "--window", type=int, default=4096,
+        help="invalidation sparkline window in cycles (default 4096)",
+    )
+    p.add_argument("--json", help="write the report JSON here")
+    p.add_argument(
+        "--load", help="render a previously saved c2c JSON instead of simulating"
+    )
+    _add_machine_args(p)
+    p.set_defaults(func=_cmd_c2c)
 
     p = sub.add_parser("cache", help="inspect or prune the on-disk result cache")
     p.add_argument("--dir", default="results/.cache", help="cache directory")

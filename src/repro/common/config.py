@@ -247,6 +247,11 @@ class SimulationConfig:
         observe_window: telemetry window width in simulated cycles.
         observe_trace_capacity: timeline ring-buffer size in events
             (oldest evicted first; 0 keeps telemetry but no timeline).
+        observe_lines: additionally run the per-cache-line heat
+            profiler (:mod:`repro.obs.lineprof`) and attach a
+            :class:`~repro.obs.lineprof.LineProfile` to the report's
+            ``lines`` field.  Requires ``observe``; like all taps it is
+            read-only, so results stay bit-identical.
     """
 
     max_cycles: int = 5_000_000_000
@@ -256,10 +261,15 @@ class SimulationConfig:
     observe: bool = False
     observe_window: int = 8192
     observe_trace_capacity: int = 65536
+    observe_lines: bool = False
 
     def __post_init__(self) -> None:
         _require(self.max_cycles > 0, "max_cycles must be positive")
         _require(self.observe_window >= 1, "observe_window must be >= 1")
         _require(
             self.observe_trace_capacity >= 0, "observe_trace_capacity must be >= 0"
+        )
+        _require(
+            self.observe or not self.observe_lines,
+            "observe_lines requires observe",
         )

@@ -21,6 +21,9 @@ Experiment index (see DESIGN.md for the full mapping):
 * :mod:`repro.experiments.headline` -- headline speedup extremes
 * :mod:`repro.experiments.saturation` -- bus saturation dynamics over
   time (extension; built on :mod:`repro.obs`)
+* :mod:`repro.experiments.lineattr` -- dynamic line attribution vs.
+  Table 4 restructuring (extension; built on
+  :mod:`repro.obs.lineprof`)
 """
 
 from repro.experiments.runner import (

@@ -1,0 +1,231 @@
+"""Dynamic line attribution vs. Table 4 restructuring (extension).
+
+The paper's restructuring story (section 4.4, Tables 4/5) says: the
+invalidation misses that cap prefetching come from a small set of
+falsely-shared structures, and the Jeremiassen–Eggers transformations
+remove them.  This experiment closes the loop *dynamically*: run the
+restructurable workloads with the per-line heat profiler
+(:mod:`repro.obs.lineprof`), fold the measured misses onto named
+structures (:mod:`repro.analysis.dynamic`), and check that
+
+* the structures the dynamic profiler blames for false-sharing misses
+  are exactly the ones the static advisor says to transform, and
+* re-running on the restructured layout collapses those structures'
+  false-sharing misses -- the measured counterpart of Table 4's
+  miss-rate drops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.analysis.advisor import advise
+from repro.analysis.dynamic import (
+    StructureHeat,
+    attribute_lines,
+    blamed_families,
+    cross_reference,
+)
+from repro.experiments.runner import ExperimentRunner
+from repro.metrics.formatting import format_table
+from repro.obs.lineprof import EFFICACY_BUCKETS
+from repro.prefetch.strategies import strategy_by_name
+from repro.workloads.registry import RESTRUCTURABLE_WORKLOAD_NAMES
+
+__all__ = ["FamilyDelta", "LineAttributionResult", "WorkloadLineAttribution", "render", "run"]
+
+#: The strategy profiled: PWS is the paper's best prefetcher on these
+#: workloads, so its residual misses are the ones restructuring targets.
+DEFAULT_STRATEGY = "PWS"
+
+
+@dataclass
+class FamilyDelta:
+    """One structure's measured heat, original vs. restructured layout."""
+
+    family: str
+    advised_action: str
+    fs_misses: int
+    fs_misses_restructured: int
+    invalidation_misses: int
+    invalidation_misses_restructured: int
+    handoffs: int
+    handoffs_restructured: int
+    stall_cycles: int
+    stall_cycles_restructured: int
+
+    @property
+    def fs_reduction(self) -> float:
+        """Fraction of false-sharing misses the restructuring removed."""
+        if not self.fs_misses:
+            return 0.0
+        return 1.0 - self.fs_misses_restructured / self.fs_misses
+
+
+@dataclass
+class WorkloadLineAttribution:
+    """One workload's dynamic-blame vs. restructuring comparison."""
+
+    workload: str
+    strategy: str
+    blamed: list[str]
+    advised: dict[str, str]
+    matched: list[str]
+    families: list[FamilyDelta]
+    efficacy: dict[str, int]
+    reconcile_problems: int
+
+
+@dataclass
+class LineAttributionResult:
+    """All workloads of the line-attribution experiment."""
+
+    num_cpus: int
+    scale: float
+    strategy: str
+    cells: dict[str, WorkloadLineAttribution]
+
+
+def _family_index(heats: list[StructureHeat]) -> dict[str, StructureHeat]:
+    return {h.name: h for h in heats}
+
+
+def run(
+    runner: ExperimentRunner | None = None,
+    workloads: tuple[str, ...] = RESTRUCTURABLE_WORKLOAD_NAMES,
+    strategy: str = DEFAULT_STRATEGY,
+    window: int = 4096,
+) -> LineAttributionResult:
+    """Profile each workload's lines on the original and restructured
+    layouts and fold the measurements onto named structures.
+
+    ``runner`` only contributes the frame (CPU count, seed, scale): the
+    observed runs execute on a dedicated runner with ``observe_lines``
+    set, since telemetry-bearing results bypass the caches.
+    """
+    frame = runner or ExperimentRunner()
+    obs_runner = ExperimentRunner(
+        num_cpus=frame.num_cpus,
+        seed=frame.seed,
+        scale=frame.scale,
+        sim_config=replace(
+            frame.sim_config,
+            observe=True,
+            observe_lines=True,
+            observe_window=window,
+            observe_trace_capacity=0,
+        ),
+    )
+    strat = strategy_by_name(strategy)
+    machine = obs_runner.base_machine()
+    cells: dict[str, WorkloadLineAttribution] = {}
+    for workload in workloads:
+        heats: dict[bool, list[StructureHeat]] = {}
+        problems = 0
+        efficacy: dict[str, int] = {}
+        for restructured in (False, True):
+            result = obs_runner.run(workload, strat, machine, restructured=restructured)
+            profile = result.obs.lines
+            problems += len(result.obs.reconcile(result))
+            arrays = obs_runner.trace_metadata(workload, restructured).get("arrays") or []
+            heats[restructured] = attribute_lines(profile, arrays)
+            if not restructured:
+                efficacy = {b: profile.total(b) for b in EFFICACY_BUCKETS}
+        recommendations = advise(obs_runner.clean_trace(workload, restructured=False))
+        cross_reference(heats[False], recommendations)
+        blamed = blamed_families(heats[False])
+        advised = {r.array: r.action for r in recommendations if r.action != "keep"}
+        matched = [name for name in blamed if name in advised]
+
+        after = _family_index(heats[True])
+        deltas = []
+        for name in dict.fromkeys(blamed + list(advised)):
+            before = _family_index(heats[False]).get(name, StructureHeat(name, True))
+            post = after.get(name, StructureHeat(name, True))
+            deltas.append(
+                FamilyDelta(
+                    family=name,
+                    advised_action=advised.get(name, "keep"),
+                    fs_misses=before.false_sharing_misses,
+                    fs_misses_restructured=post.false_sharing_misses,
+                    invalidation_misses=before.invalidation_misses,
+                    invalidation_misses_restructured=post.invalidation_misses,
+                    handoffs=before.handoffs,
+                    handoffs_restructured=post.handoffs,
+                    stall_cycles=before.stall_cycles,
+                    stall_cycles_restructured=post.stall_cycles,
+                )
+            )
+        cells[workload] = WorkloadLineAttribution(
+            workload=workload,
+            strategy=strategy,
+            blamed=blamed,
+            advised=advised,
+            matched=matched,
+            families=deltas,
+            efficacy=efficacy,
+            reconcile_problems=problems,
+        )
+    return LineAttributionResult(
+        num_cpus=frame.num_cpus,
+        scale=frame.scale,
+        strategy=strategy,
+        cells=cells,
+    )
+
+
+def render(result: LineAttributionResult) -> str:
+    """Text report: per workload, the blamed structures and the measured
+    effect of restructuring on them."""
+    parts = [
+        f"Dynamic line attribution vs. restructuring: {result.strategy}, "
+        f"{result.num_cpus} CPUs, scale {result.scale}"
+    ]
+    for workload, cell in result.cells.items():
+        rows = [
+            [
+                d.family,
+                d.advised_action,
+                d.fs_misses,
+                d.fs_misses_restructured,
+                f"{d.fs_reduction:.0%}" if d.fs_misses else "-",
+                d.invalidation_misses,
+                d.invalidation_misses_restructured,
+                d.handoffs,
+                d.handoffs_restructured,
+                d.stall_cycles,
+                d.stall_cycles_restructured,
+            ]
+            for d in cell.families
+        ]
+        parts.append(
+            format_table(
+                [
+                    "Structure",
+                    "Advisor",
+                    "FS miss",
+                    "FS rest.",
+                    "Removed",
+                    "Inval",
+                    "Inval rest.",
+                    "Hoff",
+                    "Hoff rest.",
+                    "Stall",
+                    "Stall rest.",
+                ],
+                rows,
+                title=f"{workload}: measured heat, original vs. restructured layout",
+            )
+        )
+        eff = cell.efficacy
+        parts.append(
+            f"{workload}: dynamic blame {', '.join(cell.blamed) or '(none)'}; "
+            f"advisor transforms {', '.join(cell.advised) or '(none)'}; "
+            f"agreement on {', '.join(cell.matched) or '(none)'}"
+        )
+        parts.append(
+            f"{workload}: prefetch efficacy (original) "
+            + " ".join(f"{b}={eff.get(b, 0)}" for b in EFFICACY_BUCKETS)
+            + f"; reconciliation mismatches {cell.reconcile_problems}"
+        )
+    return "\n\n".join(parts) + "\n"

@@ -19,19 +19,30 @@ pushed it over.  This subsystem is the missing lens:
   ``BusStats`` / ``CpuMetrics`` aggregates.
 * :func:`~repro.obs.export.chrome_trace` -- Chrome trace-event JSON
   (Perfetto-loadable) export of the recorded timeline.
+* :class:`~repro.obs.lineprof.LineProfiler` /
+  :class:`~repro.obs.lineprof.LineProfile` -- per-cache-line heat
+  attribution (misses by cause, stalls, bus slices, invalidation
+  ping-pong, prefetch efficacy), enabled via
+  ``SimulationConfig.observe_lines`` (a ``perf c2c`` analogue; see
+  :mod:`repro.analysis.dynamic` for the structure-level report).
 
 ``python -m repro timeline`` drives a full run and emits both views;
+``python -m repro c2c`` renders the per-line report;
 :mod:`repro.experiments.saturation` builds the saturation-dynamics
 experiment on top.
 """
 
 from repro.obs.export import chrome_trace, write_chrome_trace
+from repro.obs.lineprof import LineProfile, LineProfiler, LineStats
 from repro.obs.sampler import ObsReport, WindowedSampler
 from repro.obs.taps import EngineObserver
 from repro.obs.tracer import ObsEvent, TimelineTracer
 
 __all__ = [
     "EngineObserver",
+    "LineProfile",
+    "LineProfiler",
+    "LineStats",
     "ObsEvent",
     "ObsReport",
     "TimelineTracer",

@@ -24,15 +24,20 @@ def chrome_trace(report: ObsReport, label: str = "repro") -> dict[str, Any]:
     """Render an :class:`ObsReport` timeline as a Chrome trace object.
 
     Metadata events name the three tracks (``cpu``, ``mshr``, ``bus``)
-    and their per-CPU threads; the payload events come straight from
-    the ring buffer.  ``otherData`` carries run-level context (window
-    width, execution time, drop count) for humans reading the raw JSON.
+    and their per-CPU threads; a non-default ``label`` (the CLI passes
+    ``workload/strategy``) is folded into every process name so
+    Perfetto rows read ``cpu -- Water/PWS`` instead of a bare ``cpu``
+    when traces from several runs sit side by side.  The payload events
+    come straight from the ring buffer.  ``otherData`` carries
+    run-level context (window width, execution time, drop count) for
+    humans reading the raw JSON.
     """
     events: list[dict[str, Any]] = []
     num_cpus = report.num_cpus
     for pid, name in PROCESS_NAMES.items():
+        process = f"{name} -- {label}" if label and label != "repro" else name
         events.append(
-            {"name": "process_name", "ph": "M", "pid": pid, "tid": 0, "args": {"name": name}}
+            {"name": "process_name", "ph": "M", "pid": pid, "tid": 0, "args": {"name": process}}
         )
         tids = tuple(range(num_cpus)) if name in ("cpu", "mshr") else (0,)
         for tid in tids:

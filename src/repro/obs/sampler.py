@@ -100,6 +100,10 @@ class ObsReport:
             step quantities.
         timeline: retained ring-buffer events (may be truncated).
         timeline_dropped: events evicted from the ring.
+        lines: per-cache-line heat attribution
+            (:class:`~repro.obs.lineprof.LineProfile`) when the run
+            executed with ``SimulationConfig.observe_lines``; None
+            otherwise.
     """
 
     window_cycles: int
@@ -120,6 +124,7 @@ class ObsReport:
     peak_queue: int = 0
     timeline: list = field(default_factory=list)  # list[ObsEvent]
     timeline_dropped: int = 0
+    lines: Any = None  # LineProfile | None (avoids an import cycle)
 
     # ------------------------------------------------------------- geometry
 
@@ -239,13 +244,15 @@ class ObsReport:
                         f"live cycles {live}"
                     )
                     break
+        if self.lines is not None:
+            problems.extend(self.lines.reconcile(metrics))
         return problems
 
     # ------------------------------------------------------------ wire format
 
     def to_dict(self) -> dict[str, Any]:
         """Lossless JSON-safe rendering (timeline as event dicts)."""
-        return {
+        data = {
             "window_cycles": self.window_cycles,
             "exec_cycles": self.exec_cycles,
             "bus_busy": self.bus_busy,
@@ -265,12 +272,17 @@ class ObsReport:
             "timeline": [event.to_dict() for event in self.timeline],
             "timeline_dropped": self.timeline_dropped,
         }
+        if self.lines is not None:
+            data["lines"] = self.lines.to_dict()
+        return data
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "ObsReport":
         """Exact inverse of :meth:`to_dict`."""
+        from repro.obs.lineprof import LineProfile
         from repro.obs.tracer import ObsEvent
 
+        lines_data = data.get("lines")
         return cls(
             window_cycles=data["window_cycles"],
             exec_cycles=data["exec_cycles"],
@@ -290,6 +302,7 @@ class ObsReport:
             peak_queue=data["peak_queue"],
             timeline=[ObsEvent.from_dict(e) for e in data["timeline"]],
             timeline_dropped=data["timeline_dropped"],
+            lines=LineProfile.from_dict(lines_data) if lines_data is not None else None,
         )
 
 

@@ -46,6 +46,16 @@ class EngineObserver:
     the ring-buffered :class:`TimelineTracer`.
     """
 
+    def __new__(cls, engine: "SimulationEngine") -> "EngineObserver":
+        # The engine always constructs ``EngineObserver(self)``; when the
+        # run asks for per-line attribution, hand back the subclass so
+        # no engine edit is needed (imported lazily: lineprof imports us).
+        if cls is EngineObserver and engine.sim_config.observe_lines:
+            from repro.obs.lineprof import LineProfiler
+
+            return super().__new__(LineProfiler)
+        return super().__new__(cls)
+
     def __init__(self, engine: "SimulationEngine") -> None:
         cfg = engine.sim_config
         self.engine = engine

@@ -1,0 +1,301 @@
+"""Tests for per-line heat attribution (:mod:`repro.obs.lineprof`).
+
+The load-bearing guarantees:
+
+* **Non-interference** -- a line-profiled run returns bit-identical
+  ``RunMetrics`` to an unobserved one (the profiler is a pure tap
+  subclass; the engine is untouched).
+* **Exact reconciliation** -- per-line miss/stall/bus attributions sum
+  to the end-of-run ``MissCounts`` / ``CpuMetrics`` / ``BusStats``
+  aggregates, to the integer, across the quick workload grid.
+* **Total efficacy classification** -- every issued prefetch lands in
+  exactly one of the five buckets (hypothesis property).
+* **Static/dynamic agreement** -- the advisor's falsely-shared families
+  are a subset of the families the dynamic profiler blames.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import advise, attribute_lines, blamed_families, cross_reference
+from repro.common.config import MachineConfig, SimulationConfig
+from repro.common.errors import ConfigurationError
+from repro.experiments import lineattr
+from repro.experiments.runner import ExperimentRunner
+from repro.obs.lineprof import EFFICACY_BUCKETS, MISS_BUCKETS, LineProfile
+from repro.obs.sampler import ObsReport
+from repro.prefetch.strategies import NP, PREF, PWS, strategy_by_name
+from repro.workloads.registry import ALL_WORKLOAD_NAMES
+
+settings.register_profile("repro-ci", derandomize=True)
+settings.load_profile("repro-ci")
+
+
+def _run(workload, strategy, *, lines, num_cpus=4, scale=0.1, seed=42, **sim_kwargs):
+    runner = ExperimentRunner(
+        num_cpus=num_cpus,
+        seed=seed,
+        scale=scale,
+        sim_config=SimulationConfig(
+            observe=lines,
+            observe_lines=lines,
+            observe_trace_capacity=0,
+            **sim_kwargs,
+        )
+        if lines
+        else SimulationConfig(),
+    )
+    return runner, runner.run(workload, strategy, MachineConfig(num_cpus=num_cpus))
+
+
+# ----------------------------------------------------------- non-interference
+
+
+class TestNonInterference:
+    @pytest.mark.parametrize("workload", ["Water", "Mp3d"])
+    @pytest.mark.parametrize("strategy", [NP, PWS], ids=lambda s: s.name)
+    def test_line_profiled_run_bit_identical(self, workload, strategy):
+        """Golden: profiled and unprofiled runs agree on every counter."""
+        _, plain = _run(workload, strategy, lines=False)
+        _, profiled = _run(workload, strategy, lines=True)
+        a, b = plain.to_dict(), profiled.to_dict()
+        assert a.pop("obs", None) is None
+        assert b.pop("obs") is not None
+        assert a == b
+
+    def test_observer_factory_selects_subclass(self):
+        """`observe_lines` swaps in the subclass with no engine edit."""
+        _, profiled = _run("Water", NP, lines=True)
+        assert isinstance(profiled.obs.lines, LineProfile)
+        from repro.sim.engine import ENGINE_VERSION
+
+        assert ENGINE_VERSION == "2"
+
+    def test_observe_lines_requires_observe(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(observe=False, observe_lines=True)
+
+
+# --------------------------------------------------------- exact reconciliation
+
+
+class TestReconciliation:
+    @pytest.mark.parametrize("workload", ALL_WORKLOAD_NAMES)
+    @pytest.mark.parametrize("strategy", [NP, PREF, PWS], ids=lambda s: s.name)
+    def test_grid_reconciles_exactly(self, workload, strategy):
+        """Per-line sums equal every end-of-run aggregate, to the integer."""
+        _, result = _run(workload, strategy, lines=True, scale=0.05)
+        profile = result.obs.lines
+        assert result.obs.reconcile(result) == []
+        # The same identities, asserted directly (belt and braces).
+        agg = result.miss_counts
+        totals = profile.miss_bucket_totals()
+        for i, name in enumerate(MISS_BUCKETS):
+            assert totals[i] == getattr(agg, name)
+        assert profile.total("sync_misses") == sum(c.sync_misses for c in result.per_cpu)
+        assert profile.total("stall_cycles") == sum(
+            c.miss_wait_cycles for c in result.per_cpu
+        )
+        assert profile.total("bus_cycles") == result.bus.busy_cycles
+
+    def test_reconcile_fails_loudly_on_drift(self):
+        """A perturbed per-line counter is reported, not absorbed."""
+        _, result = _run("Water", PWS, lines=True, scale=0.05)
+        profile = result.obs.lines
+        line = next(iter(profile.lines.values()))
+        line.stall_cycles += 1
+        problems = result.obs.reconcile(result)
+        assert any("stall_cycles" in p for p in problems)
+
+    def test_bus_tier_split_partitions_total(self):
+        _, result = _run("Mp3d", PWS, lines=True, scale=0.05)
+        profile = result.obs.lines
+        for line in profile.lines.values():
+            assert (
+                line.bus_demand_cycles + line.bus_writeback_cycles + line.bus_prefetch_cycles
+                == line.bus_cycles
+            )
+        assert profile.total("bus_cycles") == result.bus.busy_cycles
+
+
+# ----------------------------------------------------------- prefetch efficacy
+
+
+class TestPrefetchEfficacy:
+    @given(
+        workload=st.sampled_from(ALL_WORKLOAD_NAMES),
+        strategy=st.sampled_from(["PREF", "EXCL", "LPD", "PWS"]),
+        seed=st.integers(min_value=0, max_value=3),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_every_prefetch_lands_in_exactly_one_bucket(self, workload, strategy, seed):
+        """useful+late+squashed+wasted+harmful == prefetches_issued, and
+        the fill/no-fill split matches the engine's own counters."""
+        _, result = _run(
+            workload, strategy_by_name(strategy), lines=True, scale=0.05, seed=seed
+        )
+        profile = result.obs.lines
+        classified = sum(profile.total(bucket) for bucket in EFFICACY_BUCKETS)
+        assert classified == sum(c.prefetches_issued for c in result.per_cpu)
+        fills = (
+            profile.total("useful")
+            + profile.total("late")
+            + profile.total("wasted")
+            + profile.total("harmful")
+        )
+        assert fills == sum(c.prefetch_fills for c in result.per_cpu)
+        assert profile.total("squashed") == sum(
+            c.prefetch_hits + c.prefetch_squashed for c in result.per_cpu
+        )
+
+    def test_np_run_classifies_nothing(self):
+        _, result = _run("Water", NP, lines=True, scale=0.05)
+        profile = result.obs.lines
+        assert sum(profile.total(bucket) for bucket in EFFICACY_BUCKETS) == 0
+
+    def test_sharing_workload_sees_useful_late_and_harmful(self):
+        """The taxonomy discriminates on a write-sharing workload."""
+        _, result = _run("Mp3d", PWS, lines=True)
+        profile = result.obs.lines
+        assert profile.total("useful") > 0
+        assert profile.total("late") > 0
+        assert profile.total("harmful") > 0
+
+
+# ------------------------------------------------------ static/dynamic agreement
+
+
+class TestStaticDynamicAgreement:
+    def test_advisor_families_subset_of_dynamic_blame(self):
+        """Every family the static advisor flags as falsely shared is
+        also blamed by the measured false-sharing misses (LocusRoute)."""
+        runner, result = _run("LocusRoute", PWS, lines=True)
+        heats = attribute_lines(
+            result.obs.lines, runner.trace_metadata("LocusRoute").get("arrays") or []
+        )
+        recommendations = advise(runner.clean_trace("LocusRoute"))
+        advised = {r.array for r in recommendations if r.action != "keep"}
+        assert advised, "advisor found nothing to transform on LocusRoute"
+        assert advised <= set(blamed_families(heats))
+
+    def test_cross_reference_annotates_actions(self):
+        runner, result = _run("Pverify", PWS, lines=True, scale=0.05)
+        heats = attribute_lines(
+            result.obs.lines, runner.trace_metadata("Pverify").get("arrays") or []
+        )
+        cross_reference(heats, advise(runner.clean_trace("Pverify")))
+        actions = {h.name: h.advised_action for h in heats}
+        assert actions.get("process_stats") == "group"
+
+    def test_lineattr_experiment_blame_matches_restructuring(self):
+        """The extension experiment's core claim at test scale: blamed
+        structures match the advisor, and restructuring removes the top
+        structure's false-sharing misses."""
+        result = lineattr.run(ExperimentRunner(num_cpus=4, seed=42, scale=0.1))
+        for workload, cell in result.cells.items():
+            assert cell.matched, f"{workload}: no blamed structure matches the advisor"
+            assert cell.reconcile_problems == 0
+            top = cell.families[0]
+            assert top.fs_misses > 0
+            assert top.fs_misses_restructured == 0
+        assert "agreement on" in lineattr.render(result)
+
+
+# -------------------------------------------------------------- wire format
+
+
+class TestWireFormat:
+    def test_report_with_lines_round_trips(self):
+        _, result = _run("Mp3d", PWS, lines=True, scale=0.05)
+        data = result.obs.to_dict()
+        back = ObsReport.from_dict(json.loads(json.dumps(data)))
+        assert back.lines is not None
+        assert back.to_dict() == data
+        assert back.lines.reconcile(result) == []
+
+    def test_report_without_lines_still_loads(self):
+        """Pre-lineprof payloads (no "lines" key) stay readable."""
+        _, result = _run("Mp3d", PWS, lines=True, scale=0.05)
+        data = result.obs.to_dict()
+        data.pop("lines")
+        back = ObsReport.from_dict(data)
+        assert back.lines is None
+
+    def test_profile_sparkline_series_is_dense(self):
+        _, result = _run("Pverify", PWS, lines=True, scale=0.05)
+        profile = result.obs.lines
+        series = profile.inval_window_series()
+        assert sum(series) == profile.total("invalidations")
+
+
+# ---------------------------------------------------------------- CLI smoke
+
+
+class TestCli:
+    def test_c2c_quick_smoke(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "c2c.json"
+        code = main(
+            ["c2c", "--workload", "pverify", "--quick", "--json", str(out)]
+        )
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "Heat by data structure" in captured
+        assert "reconciliation: per-line sums match" in captured
+        data = json.loads(out.read_text(encoding="utf-8"))
+        assert data["blamed_families"]
+        assert set(EFFICACY_BUCKETS) == set(data["efficacy_totals"])
+
+    def test_c2c_load_renders_saved_profile(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "c2c.json"
+        assert main(["c2c", "--workload", "pverify", "--quick", "--json", str(out)]) == 0
+        capsys.readouterr()
+        assert main(["c2c", "--load", str(out)]) == 0
+        assert "saved profile" in capsys.readouterr().out
+
+    def test_c2c_missing_profile_exits_gracefully(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(["c2c", "--load", str(tmp_path / "absent.json")])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "no saved line profile" in captured
+
+    def test_c2c_corrupt_profile_is_a_real_error(self, tmp_path, capsys):
+        from repro.cli import main
+
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json", encoding="utf-8")
+        assert main(["c2c", "--load", str(bad)]) == 2
+        assert "not a c2c JSON export" in capsys.readouterr().err
+
+    def test_c2c_without_workload_is_a_usage_error(self, capsys):
+        from repro.cli import main
+
+        assert main(["c2c"]) == 2
+        assert "requires --workload" in capsys.readouterr().err
+
+    def test_ledger_missing_dir_exits_gracefully(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(["ledger", "--ledger-dir", str(tmp_path / "absent")])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "no ledger recorded yet" in captured
+
+    def test_ledger_empty_file_exits_gracefully(self, tmp_path, capsys):
+        from repro.cli import main
+
+        ledger_dir = tmp_path / "ledger"
+        ledger_dir.mkdir()
+        (ledger_dir / "runs.jsonl").write_text("", encoding="utf-8")
+        code = main(["ledger", "--ledger-dir", str(ledger_dir)])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "no readable entries" in captured

@@ -203,6 +203,10 @@ class TestChromeTraceExport:
             if event["ph"] == "M":
                 assert event["name"] in ("process_name", "thread_name")
                 assert "name" in event["args"]
+                if event["name"] == "process_name":
+                    # The run label is folded into every process name so
+                    # Perfetto rows identify the workload/strategy.
+                    assert event["args"]["name"].endswith(" -- test")
                 continue
             for key in ("name", "ph", "ts", "pid", "tid"):
                 assert key in event, f"missing {key}: {event}"
@@ -229,6 +233,24 @@ class TestChromeTraceExport:
         for cpu in range(result.obs.num_cpus):
             assert thread_names[(PID_CPU, cpu)] == f"cpu{cpu}"
         assert thread_names[(PID_BUS, 0)] == "bus"
+
+    def test_process_names_carry_run_label(self):
+        """Non-default labels tag the tracks; the default stays bare."""
+        result = _run("Water", NP, observe=True)
+
+        def process_names(trace):
+            return {
+                e["pid"]: e["args"]["name"]
+                for e in trace["traceEvents"]
+                if e["ph"] == "M" and e["name"] == "process_name"
+            }
+
+        labelled = process_names(chrome_trace(result.obs, label="Water/NP"))
+        assert labelled[PID_CPU] == "cpu -- Water/NP"
+        assert labelled[PID_BUS] == "bus -- Water/NP"
+        bare = process_names(chrome_trace(result.obs))
+        assert bare[PID_CPU] == "cpu"
+        assert bare[PID_BUS] == "bus"
 
     def test_obs_event_round_trip(self):
         span = ObsEvent("X", "bus", "READ", 10, 32, PID_BUS, 0, {"block": 7})

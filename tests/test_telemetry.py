@@ -604,7 +604,7 @@ class TestTelemetryCli:
         out = capsys.readouterr().out
         assert "2 entries" in out and "error=1" in out and "boom" in out
         assert main(["ledger", "--ledger-dir", str(tmp_path / "empty")]) == 0
-        assert "no entries" in capsys.readouterr().out
+        assert "no ledger recorded yet" in capsys.readouterr().out
 
     def test_drift_from_ledger_pass_and_fail(self, tmp_path, capsys):
         from repro.cli import main
