@@ -1,0 +1,69 @@
+"""Extension bench: bandwidth-adaptive throttling (ADAPT).
+
+Replays the Figure 2/3 workload x bus-speed grid with ADAPT alongside
+NP, PREF and PWS (see :mod:`repro.experiments.adaptive`), renders the
+sweep to ``results/extension_adaptive.txt``/``.json`` and asserts the
+PR 7 acceptance claim: at the 32-cycle bus, ADAPT holds its measured
+utilization at or below the configured ceiling *and* beats PREF's
+speedup on at least two workloads -- while on the fast bus (where
+sustained utilization sits far below the ceiling) it keeps nearly all
+of PWS's speedup, shedding at most a burst-transient sliver of
+prefetches.
+
+The grid runs at the drift gate's quick frame (12 CPUs, scale 0.25,
+4- and 32-cycle transfers), where the claim was calibrated.
+"""
+
+import json
+
+from repro.experiments import adaptive
+from repro.experiments.runner import ExperimentRunner
+
+FAST, SLOW = adaptive.QUICK_LATENCIES
+
+
+def test_extension_adaptive(benchmark, results_dir, save_result):
+    runner = ExperimentRunner(
+        num_cpus=adaptive.QUICK_CPUS,
+        seed=42,
+        scale=adaptive.QUICK_SCALE,
+        disk_cache=results_dir / ".cache",
+    )
+    result = benchmark.pedantic(
+        lambda: adaptive.run(runner, transfer_latencies=(FAST, SLOW)),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("extension_adaptive", adaptive.render(result))
+    (results_dir / "extension_adaptive.json").write_text(
+        json.dumps(result.to_dict(), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+    # The headline acceptance claim: utilization held at/below the
+    # ceiling AND speedup above PREF, on >= 2 workloads at the slow bus.
+    qualifying = result.qualifying_workloads()
+    assert result.claim_holds, (
+        f"ADAPT claim failed: only {qualifying} qualify at {SLOW}-cycle bus"
+    )
+
+    for workload, by_strategy in result.cells.items():
+        adapt_fast = by_strategy["ADAPT"][FAST]
+        pws_fast = by_strategy["PWS"][FAST]
+        # Fast bus: sustained utilization sits far below the ceiling, so
+        # the throttle engages only in brief bursts -- ADAPT keeps
+        # nearly all of PWS's insertion and nearly all of its speedup.
+        drop_rate = adapt_fast.prefetch_drops / max(1, adapt_fast.prefetches_issued)
+        assert drop_rate < 0.05, (workload, drop_rate)
+        assert adapt_fast.speedup > 0.95 * pws_fast.speedup, workload
+        # ... and stays ahead of PREF's conservative insertion there.
+        assert adapt_fast.speedup > by_strategy["PREF"][FAST].speedup, workload
+        # Slow bus: same insertion as PWS, issue-time shedding only.
+        adapt_slow = by_strategy["ADAPT"][SLOW]
+        assert adapt_slow.prefetches_issued == by_strategy["PWS"][SLOW].prefetches_issued, workload
+
+    for workload in qualifying:
+        adapt_slow = result.cells[workload]["ADAPT"][SLOW]
+        assert adapt_slow.bus_utilization <= result.ceiling, workload
+        assert adapt_slow.prefetch_drops > 0, workload  # the throttle did the work
+        assert adapt_slow.speedup > result.cells[workload]["PREF"][SLOW].speedup, workload

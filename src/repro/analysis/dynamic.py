@@ -49,7 +49,8 @@ class StructureHeat:
         max_chain: longest ping-pong chain over the structure's lines.
         handoff_distance_sum / handoff_gaps: inter-handoff distance
             aggregate (mean = sum / gaps).
-        useful / late / squashed / wasted / harmful: prefetch efficacy.
+        useful / late / squashed / wasted / harmful / throttled:
+            prefetch efficacy.
         blocks: the structure's attributed block addresses (sparkline
             selection input).
         advised_action: the static advisor's verdict for this family
@@ -76,6 +77,7 @@ class StructureHeat:
     squashed: int = 0
     wasted: int = 0
     harmful: int = 0
+    throttled: int = 0
     blocks: list[int] = field(default_factory=list)
     advised_action: str = ""
 
@@ -92,7 +94,14 @@ class StructureHeat:
     @property
     def prefetches(self) -> int:
         """Issued prefetches classified on the structure's lines."""
-        return self.useful + self.late + self.squashed + self.wasted + self.harmful
+        return (
+            self.useful
+            + self.late
+            + self.squashed
+            + self.wasted
+            + self.harmful
+            + self.throttled
+        )
 
     def _absorb(self, line: LineStats) -> None:
         self.lines += 1
@@ -113,6 +122,7 @@ class StructureHeat:
         self.squashed += line.squashed
         self.wasted += line.wasted
         self.harmful += line.harmful
+        self.throttled += line.throttled
         self.blocks.append(line.block)
 
     def to_dict(self) -> dict[str, Any]:
@@ -136,6 +146,7 @@ class StructureHeat:
             "squashed": self.squashed,
             "wasted": self.wasted,
             "harmful": self.harmful,
+            "throttled": self.throttled,
             "advised_action": self.advised_action,
         }
 
@@ -205,7 +216,7 @@ def _efficacy_cell(item: "LineStats | StructureHeat") -> str:
         return "-"
     return (
         f"u{item.useful}/l{item.late}/s{item.squashed}"
-        f"/w{item.wasted}/h{item.harmful}"
+        f"/w{item.wasted}/h{item.harmful}/t{item.throttled}"
     )
 
 
@@ -245,7 +256,7 @@ def render_c2c(
     ]
     parts.append(
         format_table(
-            ["Line", "Structure", "Miss", "Inval", "FS", "Stall", "Bus", "Hoff", "Chain", "Prefetch u/l/s/w/h"],
+            ["Line", "Structure", "Miss", "Inval", "FS", "Stall", "Bus", "Hoff", "Chain", "Prefetch u/l/s/w/h/t"],
             line_rows,
             title=f"Hottest {len(line_rows)} lines (by stall + bus cycles)",
         )
@@ -283,7 +294,7 @@ def render_c2c(
                 "Hoff",
                 "Chain",
                 "Hoff dist",
-                "Prefetch u/l/s/w/h",
+                "Prefetch u/l/s/w/h/t",
                 "Advisor",
             ],
             struct_rows,

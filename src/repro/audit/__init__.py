@@ -23,7 +23,7 @@ list):
   busy + stall + sync-wait cycles equal each CPU's finish time, and bus
   busy cycles equal the sum of granted-transaction occupancy slices.
 
-:mod:`repro.audit.grid` defines the 252-configuration verification grid
+:mod:`repro.audit.grid` defines the 294-configuration verification grid
 the ``repro audit`` CLI sweeps with audits enabled.
 """
 

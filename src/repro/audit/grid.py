@@ -1,17 +1,18 @@
-"""The 252-configuration audited verification grid.
+"""The 294-configuration audited verification grid.
 
 The grid crosses every axis that reaches a distinct engine code path:
 
 * 7 workload variants -- the five paper workloads plus the two
   restructured variants (Topopt, Pverify; section 4.4);
-* 6 prefetch strategies -- NP, PREF, EXCL, LPD, PWS and the PBUF
-  extension (private-only prefetching);
+* 7 prefetch strategies -- NP, PREF, EXCL, LPD, PWS plus the PBUF
+  (private-only prefetching) and ADAPT (bandwidth-feedback throttling)
+  extensions;
 * 2 data-bus transfer latencies -- 4 (bandwidth-rich) and 16
   (contended), bracketing the paper's sweep;
 * 3 machine variants -- the default Illinois machine, a 4-line victim
   cache, and the MSI protocol ablation.
 
-7 x 6 x 2 x 3 = 252 points, matching the differential grid that
+7 x 7 x 2 x 3 = 294 points, extending the differential grid that
 validated the PR 1 fast path.  ``repro audit`` sweeps it with
 ``SimulationConfig.audit`` enabled and fails on any violation.
 """
@@ -47,8 +48,17 @@ __all__ = [
     "verification_grid",
 ]
 
-#: Strategy axis (the five paper disciplines plus the PBUF extension).
-GRID_STRATEGY_NAMES: tuple[str, ...] = ("NP", "PREF", "EXCL", "LPD", "PWS", "PBUF")
+#: Strategy axis (the five paper disciplines plus the PBUF and ADAPT
+#: extensions).
+GRID_STRATEGY_NAMES: tuple[str, ...] = (
+    "NP",
+    "PREF",
+    "EXCL",
+    "LPD",
+    "PWS",
+    "PBUF",
+    "ADAPT",
+)
 
 #: Transfer-latency axis (cycles of contended data-bus occupancy).
 GRID_TRANSFER_LATENCIES: tuple[int, ...] = (4, 16)
@@ -115,7 +125,7 @@ def _workload_variants() -> tuple[tuple[str, bool], ...]:
 
 
 def verification_grid() -> tuple[GridPoint, ...]:
-    """All 252 points, grouped by workload variant (trace-cache friendly)."""
+    """All 294 points, grouped by workload variant (trace-cache friendly)."""
     return tuple(
         GridPoint(workload, restructured, strategy, variant, cycles)
         for workload, restructured in _workload_variants()
@@ -126,16 +136,16 @@ def verification_grid() -> tuple[GridPoint, ...]:
 
 
 def quick_grid() -> tuple[GridPoint, ...]:
-    """An 18-point CI-smoke subset covering every axis value.
+    """A 24-point CI-smoke subset covering every axis value.
 
-    Two workloads (one restructured), three strategies spanning
-    {none, shared-mode, exclusive-mode} prefetching, both latencies and
-    all three machine variants appear at least once.
+    Two workloads (one restructured), four strategies spanning
+    {none, shared-mode, exclusive-mode, throttled} prefetching, both
+    latencies and all three machine variants appear at least once.
     """
     return tuple(
         GridPoint(workload, restructured, strategy, variant, cycles)
         for workload, restructured in (("Water", False), ("Pverify", True))
-        for strategy in ("NP", "PWS", "EXCL")
+        for strategy in ("NP", "PWS", "EXCL", "ADAPT")
         for cycles, variant in (
             (4, "illinois"),
             (16, "victim"),
@@ -179,14 +189,14 @@ def run_point(
     """Simulate one grid point with audits enabled."""
     trace = _clean_trace(point.workload, point.restructured, num_cpus, seed, scale)
     machine = machine_for(point, num_cpus)
-    annotated, _report = insert_prefetches(
-        trace, strategy_by_name(point.strategy), machine.cache
-    )
+    strategy = strategy_by_name(point.strategy)
+    annotated, _report = insert_prefetches(trace, strategy, machine.cache)
     result = simulate(
         annotated,
         machine,
         strategy_name=point.strategy,
         sim_config=SimulationConfig(audit=True),
+        adaptive=strategy.adaptive_config(),
     )
     assert result.audit is not None  # audit=True guarantees a report
     return PointOutcome(point=point, report=result.audit, exec_cycles=result.exec_cycles)

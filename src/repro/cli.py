@@ -52,6 +52,7 @@ from repro.analysis.attribution import render_attribution
 from repro.common.config import MachineConfig
 from repro.common.errors import ReproError
 from repro.experiments import (
+    adaptive,
     figure1,
     figure2,
     figure3,
@@ -68,7 +69,15 @@ from repro.experiments import (
 from repro.experiments.runner import ExperimentRunner
 from repro.metrics.formatting import format_run_summary, format_table
 from repro.perf.bench import DEFAULT_REPORT
-from repro.prefetch.strategies import ALL_STRATEGIES, PBUF, strategy_by_name
+from repro.common.errors import ConfigurationError
+from repro.prefetch.strategies import (
+    ADAPT,
+    ALL_STRATEGIES,
+    AdaptiveStrategy,
+    PBUF,
+    PrefetchStrategy,
+    strategy_by_name,
+)
 from repro.trace.stats import compute_stats
 from repro.workloads.registry import ALL_WORKLOAD_NAMES
 
@@ -87,6 +96,7 @@ _EXPERIMENTS = {
     "utilization": utilization,
     "saturation": saturation,
     "lineattr": lineattr,
+    "adaptive": adaptive,
 }
 
 
@@ -98,6 +108,105 @@ def _resolve_workload(name: str) -> str:
     raise ReproError(
         f"unknown workload {name!r}; expected one of {', '.join(ALL_WORKLOAD_NAMES)}"
     )
+
+
+def _split_csv(raw: str) -> list[str]:
+    """Split a comma-separated CLI list, tolerating whitespace and
+    stray commas (``"PREF, PWS"``, ``"PREF,,PWS"``)."""
+    return [token.strip() for token in raw.split(",") if token.strip()]
+
+
+_VALID_STRATEGY_NAMES = ", ".join(s.name for s in ALL_STRATEGIES + (PBUF, ADAPT))
+
+
+def _parse_strategies(raw: str) -> tuple[PrefetchStrategy, ...]:
+    """Parse ``--strategies``; one clear error naming every valid label."""
+    tokens = _split_csv(raw)
+    if not tokens:
+        raise ConfigurationError(
+            f"--strategies {raw!r} names no strategies; "
+            f"valid names: {_VALID_STRATEGY_NAMES}"
+        )
+    strategies = []
+    for token in tokens:
+        try:
+            strategies.append(strategy_by_name(token))
+        except ConfigurationError:
+            raise ConfigurationError(
+                f"unknown strategy {token!r} in --strategies {raw!r}; "
+                f"valid names: {_VALID_STRATEGY_NAMES} "
+                f"(or a derived name like 'PREF(d=400)')"
+            ) from None
+    return tuple(strategies)
+
+
+def _parse_latencies(raw: str) -> tuple[int, ...]:
+    """Parse ``--latencies`` (comma-separated positive cycle counts)."""
+    tokens = _split_csv(raw)
+    if not tokens:
+        raise ConfigurationError(f"--latencies {raw!r} names no cycle counts")
+    latencies = []
+    for token in tokens:
+        try:
+            cycles = int(token)
+        except ValueError:
+            raise ConfigurationError(
+                f"invalid transfer latency {token!r} in --latencies {raw!r}; "
+                f"expected comma-separated integers like '4,8,16,32'"
+            ) from None
+        if cycles < 1:
+            raise ConfigurationError(f"transfer latency must be >= 1, got {cycles}")
+        latencies.append(cycles)
+    return tuple(latencies)
+
+
+def _parse_workloads(raw: str) -> list[str]:
+    """Parse ``--workloads`` (comma-separated, case-insensitive)."""
+    tokens = _split_csv(raw)
+    if not tokens:
+        raise ConfigurationError(
+            f"--workloads {raw!r} names no workloads; "
+            f"valid names: {', '.join(ALL_WORKLOAD_NAMES)}"
+        )
+    return [_resolve_workload(token) for token in tokens]
+
+
+def _add_adaptive_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--adapt-high", type=float, default=None, metavar="UTIL",
+        help="ADAPT: start dropping prefetches at this windowed bus "
+        "utilization (default 0.98)",
+    )
+    parser.add_argument(
+        "--adapt-low", type=float, default=None, metavar="UTIL",
+        help="ADAPT: resume issuing below this utilization (default 0.94)",
+    )
+    parser.add_argument(
+        "--adapt-window", type=int, default=None, metavar="CYCLES",
+        help="ADAPT: utilization estimate window in cycles (default 32768)",
+    )
+
+
+def _apply_adaptive_knobs(
+    strategy: PrefetchStrategy, args: argparse.Namespace
+) -> PrefetchStrategy:
+    """Fold ``--adapt-*`` overrides into an :class:`AdaptiveStrategy`."""
+    import dataclasses
+
+    overrides = {}
+    if getattr(args, "adapt_high", None) is not None:
+        overrides["high_watermark"] = args.adapt_high
+    if getattr(args, "adapt_low", None) is not None:
+        overrides["low_watermark"] = args.adapt_low
+    if getattr(args, "adapt_window", None) is not None:
+        overrides["feedback_window"] = args.adapt_window
+    if not overrides:
+        return strategy
+    if not isinstance(strategy, AdaptiveStrategy):
+        raise ConfigurationError(
+            f"--adapt-* options only apply to the ADAPT strategy, not {strategy.name}"
+        )
+    return dataclasses.replace(strategy, **overrides)
 
 
 def _add_machine_args(parser: argparse.ArgumentParser) -> None:
@@ -124,7 +233,7 @@ def _machine(args: argparse.Namespace) -> MachineConfig:
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
     runner = _runner(args)
-    strategy = strategy_by_name(args.strategy)
+    strategy = _apply_adaptive_knobs(strategy_by_name(args.strategy), args)
     result = runner.compare(
         args.workload, strategy, _machine(args), restructured=args.restructured
     )
@@ -145,9 +254,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     runner = _runner(args)
-    strategies = tuple(strategy_by_name(s) for s in args.strategies.split(","))
+    strategies = _parse_strategies(args.strategies)
     machine = MachineConfig(num_cpus=args.cpus, protocol=args.protocol)
-    latencies = tuple(int(c) for c in args.latencies.split(","))
+    latencies = _parse_latencies(args.latencies)
     results = runner.sweep(
         args.workload, strategies, machine, transfer_latencies=latencies,
         restructured=args.restructured,
@@ -249,7 +358,7 @@ def _cmd_timeline(args: argparse.Namespace) -> int:
     workload = _resolve_workload(args.workload)
     if args.quick:
         args.cpus, args.scale = 4, 0.05
-    strategy = strategy_by_name(args.strategy)
+    strategy = _apply_adaptive_knobs(strategy_by_name(args.strategy), args)
     runner = ExperimentRunner(
         num_cpus=args.cpus,
         seed=args.seed,
@@ -384,7 +493,7 @@ def _cmd_c2c(args: argparse.Namespace) -> int:
     workload = _resolve_workload(args.workload)
     if args.quick:
         args.cpus, args.scale = 4, 0.05
-    strategy = strategy_by_name(args.strategy)
+    strategy = _apply_adaptive_knobs(strategy_by_name(args.strategy), args)
     runner = ExperimentRunner(
         num_cpus=args.cpus,
         seed=args.seed,
@@ -586,9 +695,9 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
 
     from repro.telemetry.fleet import FleetError
 
-    workloads = [_resolve_workload(w) for w in args.workloads.split(",")]
-    strategies = tuple(strategy_by_name(s) for s in args.strategies.split(","))
-    latencies = tuple(int(c) for c in args.latencies.split(","))
+    workloads = _parse_workloads(args.workloads)
+    strategies = _parse_strategies(args.strategies)
+    latencies = _parse_latencies(args.latencies)
     runner = ExperimentRunner(
         num_cpus=args.cpus,
         seed=args.seed,
@@ -738,7 +847,10 @@ def _cmd_ledger(args: argparse.Namespace) -> int:
     print(f"outcomes: {outcomes}; cache: {cache}")
     print(
         f"engine versions: {', '.join(summary['engine_versions'])}; "
-        f"{summary['wall_seconds']:.1f}s simulated wall time"
+        f"{summary['simulated_runs']} simulated runs "
+        f"({summary['wall_seconds']:.1f}s wall, "
+        f"{summary['mean_events_per_sec']:.0f} events/s), "
+        f"{summary['cache_hits']} cache hits"
     )
     entries = ledger.query(
         workload=args.workload and _resolve_workload(args.workload),
@@ -772,7 +884,8 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     print("workloads  :", ", ".join(ALL_WORKLOAD_NAMES))
     print(
         "strategies :",
-        ", ".join(s.name for s in ALL_STRATEGIES) + f", {PBUF.name} (extension)",
+        ", ".join(s.name for s in ALL_STRATEGIES)
+        + f", {PBUF.name}, {ADAPT.name} (extensions)",
     )
     print("experiments:", ", ".join(sorted(_EXPERIMENTS)))
     return 0
@@ -788,9 +901,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("simulate", help="run one configuration")
     p.add_argument("--workload", required=True, choices=ALL_WORKLOAD_NAMES)
-    p.add_argument("--strategy", default="PREF", help="NP/PREF/EXCL/LPD/PWS/PBUF")
+    p.add_argument("--strategy", default="PREF", help="NP/PREF/EXCL/LPD/PWS/PBUF/ADAPT")
     p.add_argument("--restructured", action="store_true")
     _add_machine_args(p)
+    _add_adaptive_args(p)
     p.set_defaults(func=_cmd_simulate)
 
     p = sub.add_parser("sweep", help="bus-latency sweep for one workload")
@@ -852,7 +966,7 @@ def build_parser() -> argparse.ArgumentParser:
         "timeline", help="observed run: telemetry sparklines + Chrome trace export"
     )
     p.add_argument("--workload", required=True, help="workload name (case-insensitive)")
-    p.add_argument("--strategy", default="PREF", help="NP/PREF/EXCL/LPD/PWS/PBUF")
+    p.add_argument("--strategy", default="PREF", help="NP/PREF/EXCL/LPD/PWS/PBUF/ADAPT")
     p.add_argument(
         "--quick", action="store_true", help="small 4-CPU, 0.05-scale run (CI smoke)"
     )
@@ -867,13 +981,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", help="trace JSON path (default results/timeline_<workload>_<strategy>.json)"
     )
     _add_machine_args(p)
+    _add_adaptive_args(p)
     p.set_defaults(func=_cmd_timeline)
 
     p = sub.add_parser(
         "c2c", help="per-cache-line heat report (perf c2c analogue)"
     )
     p.add_argument("--workload", help="workload name (case-insensitive)")
-    p.add_argument("--strategy", default="PWS", help="NP/PREF/EXCL/LPD/PWS/PBUF")
+    p.add_argument("--strategy", default="PWS", help="NP/PREF/EXCL/LPD/PWS/PBUF/ADAPT")
     p.add_argument("--restructured", action="store_true")
     p.add_argument(
         "--quick", action="store_true", help="small 4-CPU, 0.05-scale run (CI smoke)"
@@ -890,6 +1005,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--load", help="render a previously saved c2c JSON instead of simulating"
     )
     _add_machine_args(p)
+    _add_adaptive_args(p)
     p.set_defaults(func=_cmd_c2c)
 
     p = sub.add_parser("cache", help="inspect or prune the on-disk result cache")
@@ -902,7 +1018,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_cache)
 
     p = sub.add_parser("audit", help="audited sweep of the invariant verification grid")
-    p.add_argument("--quick", action="store_true", help="18-point smoke subset (CI)")
+    p.add_argument("--quick", action="store_true", help="24-point smoke subset (CI)")
     p.add_argument("--workers", type=int, default=0, help="worker processes (default serial)")
     p.add_argument("--cpus", type=int, default=4, help="processor count (default 4)")
     p.add_argument("--scale", type=float, default=0.2, help="workload scale (default 0.2)")

@@ -24,6 +24,9 @@ Experiment index (see DESIGN.md for the full mapping):
 * :mod:`repro.experiments.lineattr` -- dynamic line attribution vs.
   Table 4 restructuring (extension; built on
   :mod:`repro.obs.lineprof`)
+* :mod:`repro.experiments.adaptive` -- bandwidth-adaptive throttling
+  (ADAPT) vs the open-loop disciplines (extension; built on
+  :mod:`repro.prefetch.adaptive`)
 """
 
 from repro.experiments.runner import (

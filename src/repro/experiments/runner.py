@@ -150,6 +150,7 @@ def _simulate_job(
         machine,
         strategy_name=label,
         sim_config=sim_config if sim_config is not None else SimulationConfig(),
+        adaptive=strategy.adaptive_config(),
     )
     return result.to_dict()
 
@@ -301,7 +302,11 @@ class ExperimentRunner:
             annotated, _report = insert_prefetches(clean, strategy, machine.cache)
             label = strategy.name if not restructured else f"{strategy.name}+restructured"
             result = simulate(
-                annotated, machine, strategy_name=label, sim_config=self.sim_config
+                annotated,
+                machine,
+                strategy_name=label,
+                sim_config=self.sim_config,
+                adaptive=strategy.adaptive_config(),
             )
             self._disk_store(workload, strategy, machine, restructured, result)
         self._results[key] = result

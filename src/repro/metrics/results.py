@@ -112,6 +112,9 @@ class CpuMetrics:
         prefetch_fills: prefetches that went to the bus (prefetch misses).
         prefetch_squashed: prefetches dropped because a fill for the same
             block was already in flight.
+        prefetch_dropped: prefetches shed by the ADAPT bandwidth
+            throttle before probing the cache (always 0 for open-loop
+            strategies).
         upgrades: UPGRADE bus operations initiated (write hits on SHARED).
         writebacks: dirty-victim copy-backs initiated.
         victim_hits: demand accesses recovered from the victim cache.
@@ -137,6 +140,7 @@ class CpuMetrics:
     prefetch_hits: int = 0
     prefetch_fills: int = 0
     prefetch_squashed: int = 0
+    prefetch_dropped: int = 0
     upgrades: int = 0
     writebacks: int = 0
     victim_hits: int = 0
@@ -232,6 +236,11 @@ class RunMetrics:
     def prefetch_fills(self) -> int:
         """Prefetch accesses that missed and used the bus."""
         return sum(c.prefetch_fills for c in self.per_cpu)
+
+    @property
+    def prefetch_drops(self) -> int:
+        """Prefetches shed by the ADAPT throttle across CPUs."""
+        return sum(c.prefetch_dropped for c in self.per_cpu)
 
     @property
     def upgrades(self) -> int:
@@ -367,6 +376,7 @@ class RunMetrics:
             "processor_utilization": self.processor_utilization,
             "prefetches_issued": self.prefetches_issued,
             "prefetch_fills": self.prefetch_fills,
+            "prefetch_dropped": self.prefetch_drops,
             "upgrades": self.upgrades,
             "miss_components": {
                 "nonsharing_unprefetched": mc.nonsharing_unprefetched,

@@ -30,17 +30,18 @@ section 5f):
   deduplicated per invalidating grant, with inter-handoff distances
   and a per-window invalidation series for sparkline rendering;
 * a **prefetch efficacy ledger** classifying every issued prefetch into
-  exactly one of five buckets -- ``useful`` / ``late`` / ``squashed`` /
-  ``wasted`` / ``harmful`` -- via a small per-(cpu, block) state
-  machine (below).
+  exactly one of six buckets -- ``useful`` / ``late`` / ``squashed`` /
+  ``wasted`` / ``harmful`` / ``throttled`` -- via a small
+  per-(cpu, block) state machine (below).
 
 Prefetch efficacy state machine
 -------------------------------
 
-``prefetches_issued`` splits at the prefetch dispatch tap: ``squash``
-and ``hit`` actions (no bus fill: the block is already in flight or
-already resident) count as **squashed**; ``issue`` creates a *pending*
-record keyed (cpu, block).  A ``merge`` tap (a demand access finding
+``prefetches_issued`` splits at the prefetch dispatch tap: ``drop``
+actions (the ADAPT bandwidth throttle shed the prefetch before any
+cache probe) count as **throttled**; ``squash`` and ``hit`` actions (no
+bus fill: the block is already in flight or already resident) count as
+**squashed**; ``issue`` creates a *pending* record keyed (cpu, block).  A ``merge`` tap (a demand access finding
 the prefetch still in flight) marks the pending record *demanded*.  At
 ``on_mshr_finish`` the fill resolves: poisoned (invalidated while in
 flight) -> **harmful**; demanded -> **late**; otherwise the block is
@@ -87,7 +88,14 @@ MISS_BUCKETS: tuple[str, ...] = (
 )
 
 #: Prefetch efficacy buckets (every issued prefetch lands in exactly one).
-EFFICACY_BUCKETS: tuple[str, ...] = ("useful", "late", "squashed", "wasted", "harmful")
+EFFICACY_BUCKETS: tuple[str, ...] = (
+    "useful",
+    "late",
+    "squashed",
+    "wasted",
+    "harmful",
+    "throttled",
+)
 
 
 class LineStats:
@@ -112,7 +120,8 @@ class LineStats:
             consecutive handoffs).
         max_chain: longest run of consecutive distinct-writer handoffs
             (the ping-pong chain length).
-        useful / late / squashed / wasted / harmful: prefetch efficacy.
+        useful / late / squashed / wasted / harmful / throttled:
+            prefetch efficacy.
         inval_windows: sparse ``{window_index: invalidations}`` map for
             sparkline rendering.
     """
@@ -138,6 +147,7 @@ class LineStats:
         "squashed",
         "wasted",
         "harmful",
+        "throttled",
         "inval_windows",
         "_last_writer",
         "_last_grant",
@@ -166,6 +176,7 @@ class LineStats:
         self.squashed = 0
         self.wasted = 0
         self.harmful = 0
+        self.throttled = 0
         self.inval_windows: dict[int, int] = {}
         self._last_writer = -1
         self._last_grant = (-1, -1)
@@ -196,8 +207,15 @@ class LineStats:
 
     @property
     def prefetches(self) -> int:
-        """Issued prefetches classified on this line (all five buckets)."""
-        return self.useful + self.late + self.squashed + self.wasted + self.harmful
+        """Issued prefetches classified on this line (all six buckets)."""
+        return (
+            self.useful
+            + self.late
+            + self.squashed
+            + self.wasted
+            + self.harmful
+            + self.throttled
+        )
 
     @property
     def mean_handoff_distance(self) -> float:
@@ -234,6 +252,7 @@ class LineStats:
             "squashed": self.squashed,
             "wasted": self.wasted,
             "harmful": self.harmful,
+            "throttled": self.throttled,
             "inval_windows": {str(w): n for w, n in self.inval_windows.items()},
         }
 
@@ -260,6 +279,8 @@ class LineStats:
         line.squashed = data["squashed"]
         line.wasted = data["wasted"]
         line.harmful = data["harmful"]
+        # .get: artifacts written before the throttled bucket existed.
+        line.throttled = data.get("throttled", 0)
         line.inval_windows = {int(w): n for w, n in data["inval_windows"].items()}
         return line
 
@@ -333,8 +354,9 @@ class LineProfile:
           demand/writeback/prefetch split partitions it);
         * ``useful + late + wasted + harmful`` == summed
           ``prefetch_fills``; ``squashed`` == summed
-          ``prefetch_hits + prefetch_squashed``; all five ==
-          summed ``prefetches_issued``.
+          ``prefetch_hits + prefetch_squashed``; ``throttled`` ==
+          summed ``prefetch_dropped``; all six == summed
+          ``prefetches_issued``.
         """
         problems: list[str] = []
         bucket_totals = self.miss_bucket_totals()
@@ -363,6 +385,11 @@ class LineProfile:
                 "prefetch squashed (hits+squashes)",
                 self.total("squashed"),
                 sum(c.prefetch_hits + c.prefetch_squashed for c in per_cpu),
+            ),
+            (
+                "prefetch throttled (drops)",
+                self.total("throttled"),
+                sum(c.prefetch_dropped for c in per_cpu),
             ),
             (
                 "prefetch efficacy total vs prefetches_issued",
@@ -500,6 +527,8 @@ class LineProfiler(EngineObserver):
                 self._pending[key] = True
         elif action == "squash" or action == "hit":
             self._line(block).squashed += 1
+        elif action == "drop":
+            self._line(block).throttled += 1
 
     # ------------------------------------------------------------------- MSHR
 

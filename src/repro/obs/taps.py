@@ -14,7 +14,7 @@ Tap sites (see DESIGN.md §5d for the full taxonomy):
 ===========================  =============================================
 engine ``_dispatch``          instruction-gap busy slices
 engine ``_try_access``        hit busy slices, demand-miss MSHR allocs
-engine ``_dispatch_prefetch`` prefetch issue/hit/squash/buffer-stall
+engine ``_dispatch_prefetch`` prefetch issue/hit/squash/drop/buffer-stall
 engine ``_grant_fill``        coherence downgrades, in-flight poisonings
 engine ``_grant_upgrade``     invalidations, upgrade-completion busy
 engine ``_fill_done``         MSHR fill lifetimes, poisoned-fill busy
@@ -91,7 +91,7 @@ class EngineObserver:
     # --------------------------------------------------------------- prefetch
 
     def on_prefetch(self, cpu: int, action: str, block: int, now: int) -> None:
-        """A prefetch instruction event: issue / hit / squash / buffer-stall."""
+        """A prefetch event: issue / hit / squash / drop / buffer-stall."""
         self.tracer.instant("prefetch", action, now, PID_CPU, cpu, {"block": block})
 
     # ------------------------------------------------------------------- MSHR

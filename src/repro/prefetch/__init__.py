@@ -15,12 +15,20 @@ LPD      PREF with a long prefetch distance (400)
 PWS      PREF plus aggressive redundant prefetching of write-shared
          data chosen by a 16-line associative temporal-locality filter
 =======  ==========================================================
+
+Two extensions beyond the paper ride on the same pipeline: PBUF (the
+non-snooping prefetch-buffer architecture section 3.1 rejects) and ADAPT
+(PREF with a runtime bandwidth-feedback throttle; see
+:mod:`repro.prefetch.adaptive`).
 """
 
+from repro.prefetch.adaptive import AdaptiveConfig, BusUtilizationThrottle
 from repro.prefetch.filter import FilterCache
 from repro.prefetch.wsfilter import AssociativeFilter, find_write_shared_blocks
 from repro.prefetch.strategies import (
+    ADAPT,
     ALL_STRATEGIES,
+    AdaptiveStrategy,
     EXCL,
     LPD,
     NP,
@@ -33,8 +41,12 @@ from repro.prefetch.strategies import (
 from repro.prefetch.insertion import InsertionReport, insert_prefetches
 
 __all__ = [
+    "ADAPT",
     "ALL_STRATEGIES",
+    "AdaptiveConfig",
+    "AdaptiveStrategy",
     "AssociativeFilter",
+    "BusUtilizationThrottle",
     "EXCL",
     "FilterCache",
     "InsertionReport",

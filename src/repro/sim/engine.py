@@ -35,6 +35,7 @@ from repro.common.config import MachineConfig, SimulationConfig
 from repro.common.errors import SimulationError
 from repro.metrics.results import RunMetrics
 from repro.obs.taps import EngineObserver
+from repro.prefetch.adaptive import AdaptiveConfig, BusUtilizationThrottle
 from repro.sim.processor import CpuStatus, Processor
 from repro.sim.sync import BarrierManager, LockManager
 from repro.trace.events import Barrier, LockAcquire, LockRelease, MemRef, Prefetch
@@ -69,13 +70,19 @@ def simulate(
     machine: MachineConfig,
     strategy_name: str = "NP",
     sim_config: SimulationConfig | None = None,
+    adaptive: AdaptiveConfig | None = None,
 ) -> RunMetrics:
     """Run ``trace`` on ``machine`` and return the collected metrics.
 
     ``strategy_name`` is a label stored in the result (the trace itself
-    already carries the inserted prefetches).
+    already carries the inserted prefetches).  ``adaptive`` arms the
+    bandwidth-feedback prefetch throttle (ADAPT); pass
+    ``strategy.adaptive_config()``, which is None for every open-loop
+    strategy.
     """
-    engine = SimulationEngine(trace, machine, sim_config or SimulationConfig())
+    engine = SimulationEngine(
+        trace, machine, sim_config or SimulationConfig(), adaptive=adaptive
+    )
     engine.run()
     return engine.collect_metrics(strategy_name)
 
@@ -84,7 +91,11 @@ class SimulationEngine:
     """One simulation run's mutable state.  See module docstring."""
 
     def __init__(
-        self, trace: MultiTrace, machine: MachineConfig, sim_config: SimulationConfig
+        self,
+        trace: MultiTrace,
+        machine: MachineConfig,
+        sim_config: SimulationConfig,
+        adaptive: AdaptiveConfig | None = None,
     ) -> None:
         if trace.num_cpus != machine.num_cpus:
             raise SimulationError(
@@ -148,6 +159,16 @@ class SimulationEngine:
         )
         if self._obs is not None:
             self.bus.observer = self._obs
+        #: Flag-gated ADAPT feedback controller (None for every open-loop
+        #: strategy).  Same discipline as the auditor/observer: the only
+        #: hook site is an ``if self._throttle is not None`` branch at
+        #: prefetch dispatch, so NP/PREF/EXCL/LPD/PWS runs never leave
+        #: their original code paths and stay bit-identical.
+        self._throttle: BusUtilizationThrottle | None = (
+            BusUtilizationThrottle(adaptive, self.bus.stats)
+            if adaptive is not None
+            else None
+        )
 
     # ------------------------------------------------------------- main loop
 
@@ -475,6 +496,20 @@ class SimulationEngine:
         block = event.addr & self._block_mask
         metrics = proc.metrics
         obs = self._obs
+        throttle = self._throttle
+        if throttle is not None and not throttle.should_issue(now):
+            # ADAPT backoff: the windowed bus-utilization estimate is
+            # above the watermark, so shed this prefetch.  The
+            # instruction still retires in one cycle (like a squash) but
+            # no cache probe and no bus transaction happen.
+            metrics.prefetches_issued += 1
+            metrics.prefetch_dropped += 1
+            metrics.busy_cycles += self._issue_cost
+            if obs is not None:
+                obs.on_prefetch(proc.cpu, "drop", block, now)
+                obs.on_busy(proc.cpu, now, self._issue_cost)
+            self._retire(proc, now + self._issue_cost)
+            return
         if proc.mshr.lookup(block) is not None:
             # A fill for this block is already in flight; squash.
             metrics.prefetches_issued += 1

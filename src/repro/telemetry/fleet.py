@@ -193,7 +193,10 @@ def run_telemetered_job(
 
     with profiled(profile) as profile_rows:
         engine = SimulationEngine(
-            annotated, machine, sim_config if sim_config is not None else SimulationConfig()
+            annotated,
+            machine,
+            sim_config if sim_config is not None else SimulationConfig(),
+            adaptive=strategy.adaptive_config(),
         )
         if sender is not None:
             sampler = EngineSampler(

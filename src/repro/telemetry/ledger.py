@@ -215,18 +215,33 @@ class RunLedger:
         return latest
 
     def summarize(self) -> dict[str, Any]:
-        """Aggregate ledger statistics (``repro ledger`` banner)."""
+        """Aggregate ledger statistics (``repro ledger`` banner).
+
+        Throughput aggregates (``wall_seconds``, ``events``,
+        ``mean_events_per_sec``) cover *simulated* runs only: cache
+        hits record ``wall_seconds == 0.0`` and would otherwise drag
+        the fleet's mean events/sec toward zero on warm-cache sweeps.
+        They are counted separately as ``cache_hits``.
+        """
         total = 0
         outcomes: dict[str, int] = {}
         cache: dict[str, int] = {}
+        simulated = 0
+        cache_hits = 0
         wall = 0.0
+        events = 0
         engines: set[str] = set()
         first = last = None
         for entry in self.entries():
             total += 1
             outcomes[entry.outcome] = outcomes.get(entry.outcome, 0) + 1
             cache[entry.cache] = cache.get(entry.cache, 0) + 1
-            wall += entry.wall_seconds
+            if entry.wall_seconds > 0.0:
+                simulated += 1
+                wall += entry.wall_seconds
+                events += entry.events
+            else:
+                cache_hits += 1
             engines.add(entry.engine_version)
             if first is None:
                 first = entry.timestamp
@@ -235,7 +250,11 @@ class RunLedger:
             "entries": total,
             "outcomes": outcomes,
             "cache": cache,
+            "simulated_runs": simulated,
+            "cache_hits": cache_hits,
             "wall_seconds": round(wall, 3),
+            "events": events,
+            "mean_events_per_sec": round(events / wall, 1) if wall > 0.0 else 0.0,
             "engine_versions": sorted(engines),
             "first": first,
             "last": last,

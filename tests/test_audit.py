@@ -199,10 +199,10 @@ class TestAuditedRuns:
 
     def test_grid_shape(self):
         grid = verification_grid()
-        assert len(grid) == 252
-        assert len(set(grid)) == 252
+        assert len(grid) == 294
+        assert len(set(grid)) == 294
         quick = quick_grid()
-        assert len(quick) == 18
+        assert len(quick) == 24
         assert set(quick) <= set(grid)
 
     def test_one_grid_point_audits_clean(self):
@@ -232,7 +232,7 @@ class TestAuditedRuns:
     def test_cli_quick_audit_passes(self, capsys):
         assert main(["audit", "--quick", "--cpus", "2", "--scale", "0.05"]) == 0
         out = capsys.readouterr().out
-        assert "18/18 configurations passed" in out
+        assert "24/24 configurations passed" in out
 
 
 # ------------------------------------------------- conservation properties

@@ -92,3 +92,69 @@ class TestCommands:
             )
             == 0
         )
+
+
+class TestListParsing:
+    """PR 7 fix: comma lists tolerate whitespace and stray commas, and
+    reject unknown names with one clear error."""
+
+    def test_strategies_tolerate_whitespace_and_empties(self, capsys):
+        args = ["sweep", "--workload", "Water", "--latencies", "4",
+                "--strategies", " NP, PREF ,,", *SMALL]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "NP" in out and "PREF" in out
+
+    def test_latencies_tolerate_whitespace(self, capsys):
+        args = ["sweep", "--workload", "Water", "--strategies", "NP",
+                "--latencies", " 4 ,, 16 ", *SMALL]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "4 cycles" in out and "16 cycles" in out
+
+    def test_unknown_strategy_names_every_valid_label(self, capsys):
+        args = ["sweep", "--workload", "Water", "--strategies", "NP,BOGUS", *SMALL]
+        assert main(args) == 2
+        err = capsys.readouterr().err
+        assert "BOGUS" in err and "ADAPT" in err and "PWS" in err
+
+    def test_empty_strategy_list_is_a_clean_error(self, capsys):
+        args = ["sweep", "--workload", "Water", "--strategies", " ,, ", *SMALL]
+        assert main(args) == 2
+        assert "no strategies" in capsys.readouterr().err
+
+    def test_bad_latency_is_a_clean_error(self, capsys):
+        args = ["sweep", "--workload", "Water", "--strategies", "NP",
+                "--latencies", "4,fast", *SMALL]
+        assert main(args) == 2
+        assert "fast" in capsys.readouterr().err
+
+    def test_derived_strategy_name_accepted(self, capsys):
+        args = ["sweep", "--workload", "Water", "--latencies", "4",
+                "--strategies", "PREF(d=400)", *SMALL]
+        assert main(args) == 0
+        assert "PREF(d=400)" in capsys.readouterr().out
+
+
+class TestAdaptCli:
+    def test_simulate_adapt(self, capsys):
+        args = ["simulate", "--workload", "Water", "--strategy", "ADAPT", *SMALL]
+        assert main(args) == 0
+        assert "Water / ADAPT" in capsys.readouterr().out
+
+    def test_adapt_knobs_apply(self, capsys):
+        args = ["simulate", "--workload", "Water", "--strategy", "ADAPT",
+                "--adapt-high", "0.2", "--adapt-low", "0.1",
+                "--adapt-window", "256", "--transfer", "32", *SMALL]
+        assert main(args) == 0
+
+    def test_adapt_knobs_rejected_for_open_loop_strategy(self, capsys):
+        args = ["simulate", "--workload", "Water", "--strategy", "PREF",
+                "--adapt-high", "0.5", *SMALL]
+        assert main(args) == 2
+        assert "ADAPT" in capsys.readouterr().err
+
+    def test_list_shows_adapt_extension(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "ADAPT" in out and "adaptive" in out

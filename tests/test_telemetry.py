@@ -118,6 +118,42 @@ class TestLedger:
         latest = ledger.latest_by_key()
         assert latest["k"].events == 2  # newest *ok* entry
 
+    def test_summarize_excludes_cache_hits_from_throughput(self, tmp_path):
+        """Regression: warm-cache entries (wall 0.0) used to drag the
+        fleet mean events/sec toward zero; they must be counted apart."""
+        ledger = RunLedger(tmp_path)
+        ledger.append(
+            _entry(config_key="sim1", wall_seconds=2.0, events=4000, cache="miss")
+        )
+        ledger.append(
+            _entry(config_key="sim2", wall_seconds=2.0, events=2000, cache="miss")
+        )
+        for i in range(10):
+            ledger.append(
+                _entry(
+                    config_key=f"hit{i}",
+                    wall_seconds=0.0,
+                    events=0,
+                    events_per_sec=0.0,
+                    cache="hit",
+                )
+            )
+        summary = ledger.summarize()
+        assert summary["entries"] == 12
+        assert summary["simulated_runs"] == 2
+        assert summary["cache_hits"] == 10
+        assert summary["wall_seconds"] == 4.0
+        assert summary["events"] == 6000
+        assert summary["mean_events_per_sec"] == 1500.0  # 6000/4, hits excluded
+
+    def test_summarize_all_cache_hits_reports_zero_throughput(self, tmp_path):
+        ledger = RunLedger(tmp_path)
+        ledger.append(_entry(wall_seconds=0.0, events=0, cache="hit"))
+        summary = ledger.summarize()
+        assert summary["simulated_runs"] == 0
+        assert summary["cache_hits"] == 1
+        assert summary["mean_events_per_sec"] == 0.0
+
     def test_missing_file_reads_empty(self, tmp_path):
         assert list(RunLedger(tmp_path / "nope").entries()) == []
 
@@ -418,6 +454,31 @@ class TestDrift:
         )
         with pytest.raises(ReproError):
             summaries_from_ledger(ledger, other)
+
+    def test_ledger_replay_tolerates_derived_strategy_entries(self, tmp_path):
+        """Regression: a distance-ablation sweep leaves ``PREF(d=400)``
+        entries in the same ledger; replay must skip them (they are not
+        grid points) instead of failing -- and the derived names must
+        themselves resolve back to real strategies."""
+        frame = QUICK_FRAME
+        ledger = RunLedger(tmp_path)
+        _write_frame_ledger(ledger, frame, _healthy_summaries(frame))
+        for distance in (50, 400):
+            derived = PREF.with_distance(distance)
+            ledger.append(
+                _entry(
+                    config_key=f"ablation-{distance}",
+                    strategy=derived.name,
+                    machine={"transfer_cycles": 8, "num_cpus": frame.num_cpus},
+                    num_cpus=frame.num_cpus,
+                    seed=frame.seed,
+                    scale=frame.scale,
+                )
+            )
+            assert strategy_by_name(derived.name) == derived  # the PR 7 fix
+        summaries = summaries_from_ledger(ledger, frame)
+        assert len(summaries) == 50  # ablation entries skipped, grid intact
+        assert evaluate(summaries, frame).passed
 
 
 def _write_frame_ledger(ledger: RunLedger, frame: DriftFrame, summaries: dict) -> None:
