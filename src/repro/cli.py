@@ -25,6 +25,10 @@ Commands:
   comparisons (speedup extremes, miss-rate directions, bus-utilization
   ordering) against tolerance bands; nonzero exit on divergence;
 * ``ledger`` -- query and summarize the append-only run ledger;
+* ``serve`` -- simulation-as-a-service HTTP front door: submit
+  scenario specs or sweep grids, poll run status, fetch results and
+  c2c reports by run id, scrape Prometheus metrics -- duplicate
+  submissions dedup by content key onto one simulation;
 * ``list`` -- available workloads, strategies and experiments.
 
 Examples::
@@ -691,9 +695,10 @@ def _telemetry_from_args(args: argparse.Namespace, progress: bool) -> "Telemetry
 
 
 def _cmd_fleet(args: argparse.Namespace) -> int:
+    import json as json_module
     from pathlib import Path
 
-    from repro.telemetry.fleet import FleetError
+    from repro.telemetry.fleet import FleetError, export_cache_stats
 
     workloads = _parse_workloads(args.workloads)
     strategies = _parse_strategies(args.strategies)
@@ -712,54 +717,89 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         for cycles in latencies
         for strategy in strategies
     ]
-    telemetry = _telemetry_from_args(args, progress=not args.no_progress)
-    print(
-        f"fleet: {len(jobs)} grid points ({len(workloads)} workloads x "
-        f"{len(strategies)} strategies x {len(latencies)} latencies), "
-        f"{args.workers or 1} worker(s), {args.cpus} CPUs, scale {args.scale}"
-    )
+    # --json is a machine-consumer contract: exactly one JSON document
+    # on stdout, so the progress line (and every banner) is suppressed.
+    as_json = args.json
+    telemetry = _telemetry_from_args(args, progress=not args.no_progress and not as_json)
+    if not as_json:
+        print(
+            f"fleet: {len(jobs)} grid points ({len(workloads)} workloads x "
+            f"{len(strategies)} strategies x {len(latencies)} latencies), "
+            f"{args.workers or 1} worker(s), {args.cpus} CPUs, scale {args.scale}"
+        )
     code = 0
+    failures = []
     try:
         runner.run_many(jobs, telemetry=telemetry)
     except FleetError as exc:
-        print(f"FAILED grid points ({len(exc.failures)}):")
-        for failure in exc.failures:
-            print(f"  {failure.label}: [{failure.kind}] {failure.message}")
+        failures = exc.failures
+        if not as_json:
+            print(f"FAILED grid points ({len(exc.failures)}):")
+            for failure in exc.failures:
+                print(f"  {failure.label}: [{failure.kind}] {failure.message}")
         code = 1
     registry = telemetry.registry
     families = telemetry.metrics()
-    print(
-        f"{families['runs'].value(outcome='ok'):.0f} runs ok, "
-        f"{families['events'].value():,.0f} events retired, "
-        f"{families['wall'].sum():.2f}s simulating"
-    )
-    if runner.disk_cache is not None:
-        stats = runner.disk_cache.stats()
+    stats = runner.disk_cache.stats() if runner.disk_cache is not None else None
+    if stats is not None:
+        export_cache_stats(registry, stats)
+    if as_json:
+        doc = {
+            "grid": {
+                "workloads": workloads,
+                "strategies": [s.name for s in strategies],
+                "latencies": list(latencies),
+                "cpus": args.cpus,
+                "scale": args.scale,
+                "seed": args.seed,
+                "points": len(jobs),
+            },
+            "ok": code == 0,
+            "runs_ok": int(families["runs"].value(outcome="ok")),
+            "events": int(families["events"].value()),
+            "wall_seconds": round(families["wall"].sum(), 3),
+            "failures": [
+                {"label": f.label, "kind": f.kind, "message": f.message}
+                for f in failures
+            ],
+            "cache": stats,
+            "ledger": str(telemetry.ledger.path) if telemetry.ledger else None,
+            "metrics": registry.to_json(),
+        }
+        print(json_module.dumps(doc, indent=2, sort_keys=True))
+    else:
         print(
-            f"disk cache: {stats['hits']} hits / {stats['misses']} misses this "
-            f"session; {stats['entries']} entries on disk"
+            f"{families['runs'].value(outcome='ok'):.0f} runs ok, "
+            f"{families['events'].value():,.0f} events retired, "
+            f"{families['wall'].sum():.2f}s simulating"
         )
-    if telemetry.ledger is not None:
-        print(f"ledger: appended to {telemetry.ledger.path}")
+        if stats is not None:
+            print(
+                f"disk cache: {stats['hits']} hits / {stats['misses']} misses this "
+                f"session; {stats['entries']} entries on disk"
+            )
+        if telemetry.ledger is not None:
+            print(f"ledger: appended to {telemetry.ledger.path}")
     if args.metrics_out:
         out = Path(args.metrics_out)
         registry.write(
             prom_path=str(out.with_suffix(".prom")),
             json_path=str(out.with_suffix(".json")),
         )
-        print(f"metrics: wrote {out.with_suffix('.prom')} and {out.with_suffix('.json')}")
+        if not as_json:
+            print(f"metrics: wrote {out.with_suffix('.prom')} and {out.with_suffix('.json')}")
     if args.profile:
-        print()
-        print(telemetry.merged_profile.render(n=args.profile_top))
+        if not as_json:
+            print()
+            print(telemetry.merged_profile.render(n=args.profile_top))
         if args.profile_out:
-            import json as json_module
-
             Path(args.profile_out).parent.mkdir(parents=True, exist_ok=True)
             Path(args.profile_out).write_text(
                 json_module.dumps(telemetry.merged_profile.to_json(), indent=2) + "\n",
                 encoding="utf-8",
             )
-            print(f"profile: wrote {args.profile_out}")
+            if not as_json:
+                print(f"profile: wrote {args.profile_out}")
     return code
 
 
@@ -825,9 +865,27 @@ def _cmd_drift(args: argparse.Namespace) -> int:
 
 
 def _cmd_ledger(args: argparse.Namespace) -> int:
+    import json as json_module
+
     from repro.telemetry.ledger import RunLedger
 
     ledger = RunLedger(args.ledger_dir)
+    if args.json:
+        # Machine contract: one JSON document, always -- a missing or
+        # empty ledger is data ({"exists": false} / zero entries), not
+        # a prose apology scripts would have to parse.
+        doc: dict = {"path": str(ledger.path), "exists": ledger.path.exists()}
+        if doc["exists"]:
+            doc["summary"] = ledger.summarize()
+            entries = ledger.query(
+                workload=args.workload and _resolve_workload(args.workload),
+                strategy=args.strategy,
+                outcome=args.outcome,
+            )
+            shown = entries[-args.tail:] if args.tail else entries
+            doc["entries"] = [entry.to_dict() for entry in shown]
+        print(json_module.dumps(doc, indent=2, sort_keys=True))
+        return 0
     if not ledger.path.exists():
         print(
             f"{ledger.path}: no ledger recorded yet "
@@ -877,6 +935,31 @@ def _cmd_ledger(args: argparse.Namespace) -> int:
             elif entry.error:
                 line += f"  {entry.error}"
             print(line)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.api import ServiceConfig, serve
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        cache_dir=args.cache or None,
+        ledger_path=None if args.no_ledger else f"{args.ledger_dir}/runs.jsonl",
+        hydrate=not args.no_hydrate,
+        max_workers=args.workers,
+        job_timeout=args.job_timeout,
+        max_batch=args.max_batch,
+    )
+    print(
+        f"repro service on http://{config.host}:{config.port} "
+        f"(cache: {config.cache_dir or 'off'}, ledger: {config.ledger_path or 'off'}, "
+        f"{config.max_workers or 1} sim worker(s)) -- Ctrl-C to stop"
+    )
+    print(
+        "  POST /runs  GET /runs  GET /runs/{id}  GET /runs/{id}/result  GET /metrics"
+    )
+    serve(config)
     return 0
 
 
@@ -1075,6 +1158,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cpus", type=int, default=12, help="processor count (default 12)")
     p.add_argument("--scale", type=float, default=1.0, help="workload scale (default 1.0)")
     p.add_argument("--seed", type=int, default=42, help="workload seed (default 42)")
+    p.add_argument(
+        "--json", action="store_true",
+        help="emit one JSON document (grid, outcomes, cache, metrics) instead of text",
+    )
     add_telemetry_args(p)
     p.set_defaults(func=_cmd_fleet)
 
@@ -1106,7 +1193,40 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--outcome", choices=("ok", "error", "timeout"), help="filter by outcome"
     )
+    p.add_argument(
+        "--json", action="store_true",
+        help="emit one JSON document (path, summary, filtered entries) instead of text",
+    )
     p.set_defaults(func=_cmd_ledger)
+
+    p = sub.add_parser(
+        "serve", help="HTTP simulation service (submit/poll/fetch runs, /metrics)"
+    )
+    p.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8787, help="bind port (default 8787; 0 picks one)")
+    p.add_argument("--workers", type=int, default=0, help="simulation workers per batch (default serial)")
+    p.add_argument(
+        "--cache", default="results/service/cache",
+        help="result disk cache directory ('' disables; default results/service/cache)",
+    )
+    p.add_argument(
+        "--ledger-dir", default="results/service/ledger",
+        help="run-ledger directory (default results/service/ledger)",
+    )
+    p.add_argument("--no-ledger", action="store_true", help="record nothing to the ledger")
+    p.add_argument(
+        "--no-hydrate", action="store_true",
+        help="start with an empty run store instead of replaying ledger history",
+    )
+    p.add_argument(
+        "--job-timeout", type=float, default=None,
+        help="per-run result deadline in seconds (parallel backend only)",
+    )
+    p.add_argument(
+        "--max-batch", type=int, default=32,
+        help="most queued runs folded into one simulation batch (default 32)",
+    )
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("list", help="available workloads/strategies/experiments")
     p.set_defaults(func=_cmd_list)

@@ -573,6 +573,8 @@ class ExperimentRunner:
             manager = None
             beat_queue = queue_module.SimpleQueue()
         monitor = FleetMonitor(beat_queue, labels, watchdog=watchdog, render=render)
+        if telemetry.monitor_hook is not None:
+            telemetry.monitor_hook(monitor)
         try:
             with monitor:
                 if parallel:

@@ -1,0 +1,460 @@
+"""Stdlib-asyncio HTTP front door over the run scheduler.
+
+No framework, no dependencies: ``asyncio.start_server`` plus a
+hand-rolled HTTP/1.1 request parser is all the service needs for a
+JSON API this small, and it keeps the repo's zero-install contract.
+Connections are one-request (``Connection: close``), which sidesteps
+keep-alive state machines entirely -- sweep clients submit in one POST,
+not one connection per grid point.
+
+Routes (all JSON unless noted):
+
+* ``POST /runs`` -- submit one scenario (the spec object itself) or a
+  sweep (``{"sweep": {...}}`` where any spec field may be a list; the
+  grid is the cartesian product).  Returns 202 with one run reference
+  per grid point; duplicates by content key fold into existing runs and
+  carry ``"deduped": true``.
+* ``GET /runs`` -- list references, filterable by
+  ``?status=&workload=&strategy=``.
+* ``GET /runs/{run_id}`` -- full metadata, plus live heartbeat
+  ``progress`` while running.
+* ``GET /runs/{run_id}/result`` -- the RunMetrics document;
+  ``?view=c2c`` serves the per-cache-line attribution report instead.
+* ``GET /metrics`` -- Prometheus text exposition (fleet counters, cache
+  gauges, service request/dedup/queue-depth series).
+* ``GET /healthz`` -- liveness probe.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+from urllib.parse import parse_qs, urlsplit
+
+from repro.common.errors import ConfigurationError, ReproError
+from repro.service.contracts import ScenarioSpec
+from repro.service.scheduler import RunScheduler
+from repro.service.store import LedgerRunStore
+from repro.telemetry.fleet import export_cache_stats
+from repro.telemetry.ledger import RunLedger
+from repro.telemetry.registry import MetricsRegistry
+
+__all__ = ["ReproService", "ServiceConfig", "serve", "serve_in_thread"]
+
+#: Largest accepted request body; a full sweep grid is a few KB, so this
+#: is purely a guard against garbage input tying up the reader.
+MAX_BODY_BYTES = 1 << 20
+
+#: Most grid points one sweep POST may expand to.
+MAX_SWEEP_POINTS = 4096
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+@dataclass
+class ServiceConfig:
+    """Service wiring: where to listen and which layers to attach.
+
+    Attributes:
+        host / port: bind address (port 0 picks a free port).
+        cache_dir: result disk cache directory (None disables caching,
+            which also disables result re-serving across restarts).
+        ledger_path: run ledger JSONL path (None disables the ledger
+            and, with it, history hydration).
+        hydrate: replay the ledger into the run store on startup.
+        max_workers: process-pool width for each simulation batch.
+        job_timeout: per-run result deadline in seconds (None: none).
+        max_batch: most queued runs folded into one batch.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8787
+    cache_dir: str | None = "results/service/cache"
+    ledger_path: str | None = "results/service/ledger/runs.jsonl"
+    hydrate: bool = True
+    max_workers: int = 0
+    job_timeout: float | None = None
+    max_batch: int = 32
+
+
+def _expand_sweep(grid: dict[str, Any]) -> list[dict[str, Any]]:
+    """Cartesian-expand a sweep grid into per-point spec dicts."""
+    if not isinstance(grid, dict) or not grid:
+        raise ConfigurationError("sweep must be a non-empty object of spec fields")
+    axes: list[tuple[str, list[Any]]] = []
+    for field_name, value in grid.items():
+        values = value if isinstance(value, list) else [value]
+        if not values:
+            raise ConfigurationError(f"sweep axis {field_name!r} is an empty list")
+        axes.append((field_name, values))
+    points = 1
+    for _, values in axes:
+        points *= len(values)
+    if points > MAX_SWEEP_POINTS:
+        raise ConfigurationError(
+            f"sweep expands to {points} points; the limit is {MAX_SWEEP_POINTS}"
+        )
+    names = [name for name, _ in axes]
+    return [
+        dict(zip(names, combo))
+        for combo in itertools.product(*(values for _, values in axes))
+    ]
+
+
+class ReproService:
+    """The HTTP server: owns the scheduler, store, ledger and registry."""
+
+    def __init__(self, config: ServiceConfig | None = None) -> None:
+        self.config = config if config is not None else ServiceConfig()
+        self.registry = MetricsRegistry()
+        self.ledger: RunLedger | None = None
+        if self.config.ledger_path is not None:
+            path = Path(self.config.ledger_path)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            self.ledger = RunLedger(path)
+        self.store = LedgerRunStore(self.ledger, hydrate=self.config.hydrate)
+        self.scheduler = RunScheduler(
+            store=self.store,
+            registry=self.registry,
+            ledger=self.ledger,
+            cache_dir=self.config.cache_dir,
+            max_workers=self.config.max_workers,
+            job_timeout=self.config.job_timeout,
+            max_batch=self.config.max_batch,
+        )
+        self._requests = self.registry.counter(
+            "repro_service_requests_total",
+            "HTTP requests by method, route and status",
+            ("method", "route", "status"),
+        )
+        self._server: asyncio.AbstractServer | None = None
+
+    # -------------------------------------------------------------- lifecycle
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves port 0 after :meth:`start`)."""
+        if self._server is not None and self._server.sockets:
+            return self._server.sockets[0].getsockname()[1]
+        return self.config.port
+
+    async def start(self) -> None:
+        """Bind the listen socket and start the scheduler worker."""
+        await self.scheduler.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+
+    async def close(self) -> None:
+        """Stop accepting, drain the scheduler, release the executor."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.scheduler.close()
+
+    async def run_forever(self) -> None:
+        """Start and serve until cancelled."""
+        await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    # ------------------------------------------------------------------- HTTP
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            status, body, content_type = await self._handle_request(reader)
+        except Exception as exc:  # absolute backstop: never kill the loop
+            status = 500
+            body = json.dumps({"error": str(exc) or type(exc).__name__}).encode()
+            content_type = "application/json"
+        try:
+            reason = _REASONS.get(status, "Unknown")
+            head = (
+                f"HTTP/1.1 {status} {reason}\r\n"
+                f"Content-Type: {content_type}\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                "Connection: close\r\n\r\n"
+            )
+            writer.write(head.encode("ascii") + body)
+            await writer.drain()
+        except (ConnectionError, BrokenPipeError):
+            pass  # client went away; nothing to salvage
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):
+                pass
+
+    async def _handle_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[int, bytes, str]:
+        request_line = (await reader.readline()).decode("latin-1").strip()
+        if not request_line:
+            return 400, _error_body("empty request"), "application/json"
+        parts = request_line.split()
+        if len(parts) != 3:
+            return 400, _error_body(f"malformed request line: {request_line!r}"), "application/json"
+        method, target, _version = parts
+        content_length = 0
+        while True:
+            line = (await reader.readline()).decode("latin-1")
+            if line in ("\r\n", "\n", ""):
+                break
+            name, _, value = line.partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    return 400, _error_body("bad Content-Length"), "application/json"
+        if content_length > MAX_BODY_BYTES:
+            return 413, _error_body("request body too large"), "application/json"
+        raw_body = await reader.readexactly(content_length) if content_length else b""
+
+        url = urlsplit(target)
+        path = url.path.rstrip("/") or "/"
+        query = {k: v[-1] for k, v in parse_qs(url.query).items()}
+        status, payload, content_type = await self._route(method, path, query, raw_body)
+        self._requests.inc(
+            method=method, route=_route_label(path), status=str(status)
+        )
+        return status, payload, content_type
+
+    async def _route(
+        self, method: str, path: str, query: dict[str, str], raw_body: bytes
+    ) -> tuple[int, bytes, str]:
+        try:
+            if path == "/healthz" and method == "GET":
+                return 200, _json_body({"status": "ok", "runs": len(self.store)}), "application/json"
+            if path == "/metrics" and method == "GET":
+                return await self._get_metrics()
+            if path == "/runs" and method == "POST":
+                return await self._post_runs(raw_body)
+            if path == "/runs" and method == "GET":
+                return self._list_runs(query)
+            if path.startswith("/runs/"):
+                rest = path[len("/runs/"):]
+                if rest.endswith("/result"):
+                    run_id = rest[: -len("/result")]
+                    if method != "GET":
+                        return 405, _error_body("use GET"), "application/json"
+                    return await self._get_result(run_id, query)
+                if method != "GET":
+                    return 405, _error_body("use GET"), "application/json"
+                return self._get_run(rest)
+            return 404, _error_body(f"no route for {method} {path}"), "application/json"
+        except ConfigurationError as exc:
+            return 400, _error_body(str(exc)), "application/json"
+        except ReproError as exc:
+            return 409, _error_body(str(exc)), "application/json"
+
+    # ----------------------------------------------------------------- routes
+
+    async def _post_runs(self, raw_body: bytes) -> tuple[int, bytes, str]:
+        try:
+            body = json.loads(raw_body.decode("utf-8")) if raw_body else None
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ConfigurationError(f"request body is not valid JSON: {exc}")
+        if not isinstance(body, dict):
+            raise ConfigurationError("request body must be a JSON object")
+        if "sweep" in body:
+            extras = sorted(set(body) - {"sweep"})
+            if extras:
+                raise ConfigurationError(
+                    f"a sweep submission takes only the 'sweep' key, got also: {', '.join(extras)}"
+                )
+            point_dicts = _expand_sweep(body["sweep"])
+        else:
+            point_dicts = [body]
+        # Validate the whole grid before queueing any of it: a sweep
+        # with one bad point is rejected atomically.
+        specs = [ScenarioSpec.from_dict(point) for point in point_dicts]
+        refs = []
+        for spec in specs:
+            meta, deduped = await self.scheduler.submit(spec)
+            ref = meta.to_ref().to_dict()
+            ref["deduped"] = deduped
+            refs.append(ref)
+        doc: dict[str, Any] = {"count": len(refs), "runs": refs}
+        if len(refs) == 1:
+            doc.update(refs[0])
+        return 202, _json_body(doc), "application/json"
+
+    def _list_runs(self, query: dict[str, str]) -> tuple[int, bytes, str]:
+        try:
+            metas = self.store.list(
+                status=query.get("status"),
+                workload=query.get("workload"),
+                strategy=query.get("strategy"),
+            )
+        except ValueError:
+            raise ConfigurationError(
+                f"unknown status {query.get('status')!r}; expected queued, "
+                "running, completed or failed"
+            )
+        counts = self.store.counts() if hasattr(self.store, "counts") else {}
+        return (
+            200,
+            _json_body(
+                {
+                    "count": len(metas),
+                    "queue_depth": self.scheduler.queue_depth(),
+                    "status_counts": counts,
+                    "runs": [meta.to_ref().to_dict() for meta in metas],
+                }
+            ),
+            "application/json",
+        )
+
+    def _get_run(self, run_id: str) -> tuple[int, bytes, str]:
+        meta = self.store.get(run_id)
+        if meta is None:
+            return 404, _error_body(f"unknown run {run_id!r}"), "application/json"
+        doc = meta.to_dict()
+        doc["progress"] = self.scheduler.progress(run_id)
+        return 200, _json_body(doc), "application/json"
+
+    async def _get_result(
+        self, run_id: str, query: dict[str, str]
+    ) -> tuple[int, bytes, str]:
+        meta = self.store.get(run_id)
+        if meta is None:
+            return 404, _error_body(f"unknown run {run_id!r}"), "application/json"
+        view = query.get("view", "metrics")
+        if view not in ("metrics", "c2c"):
+            raise ConfigurationError(f"unknown view {view!r}; expected metrics or c2c")
+        if not meta.status.terminal:
+            raise ReproError(
+                f"run {run_id} is {meta.status.value}; poll GET /runs/{run_id} until terminal"
+            )
+        if meta.status.value == "failed":
+            return (
+                409,
+                _json_body({"run_id": run_id, "status": "failed", "error": meta.error}),
+                "application/json",
+            )
+        if view == "c2c":
+            report = await self.scheduler.c2c(run_id)
+            return 200, _json_body({"run_id": run_id, "view": "c2c", "report": report}), "application/json"
+        result = self.scheduler.result(run_id)
+        if result is None:
+            return (
+                404,
+                _error_body(
+                    f"run {run_id} completed but its result is no longer "
+                    "materialized (cache evicted?); resubmit the spec to recompute"
+                ),
+                "application/json",
+            )
+        return (
+            200,
+            _json_body(
+                {
+                    "run_id": run_id,
+                    "config_key": meta.config_key,
+                    "label": meta.label,
+                    "metrics": result.to_dict(),
+                }
+            ),
+            "application/json",
+        )
+
+    async def _get_metrics(self) -> tuple[int, bytes, str]:
+        stats = self.scheduler.cache_stats()
+        if stats is not None:
+            export_cache_stats(self.registry, stats)
+        text = self.registry.render_prometheus()
+        return 200, text.encode("utf-8"), "text/plain; version=0.0.4"
+
+
+def _route_label(path: str) -> str:
+    """Collapse per-run paths to low-cardinality route labels."""
+    if path.startswith("/runs/"):
+        return "/runs/{run_id}/result" if path.endswith("/result") else "/runs/{run_id}"
+    return path
+
+
+def _json_body(doc: dict[str, Any]) -> bytes:
+    return (json.dumps(doc, sort_keys=True) + "\n").encode("utf-8")
+
+
+def _error_body(message: str) -> bytes:
+    return _json_body({"error": message})
+
+
+def serve(config: ServiceConfig | None = None) -> None:
+    """Run the service in the current thread until interrupted."""
+    service = ReproService(config)
+
+    async def _main() -> None:
+        try:
+            await service.run_forever()
+        finally:
+            await service.close()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        pass
+
+
+def serve_in_thread(
+    config: ServiceConfig | None = None,
+) -> tuple[ReproService, str, Any]:
+    """Start a service on a daemon thread; returns (service, base_url, stop).
+
+    The test harness's entry point: binds (port 0 resolves to a free
+    port), serves from a private event loop, and returns a ``stop()``
+    that shuts the loop down cleanly.
+    """
+    service = ReproService(config)
+    started = threading.Event()
+    loop_holder: dict[str, Any] = {}
+
+    def _run() -> None:
+        loop = asyncio.new_event_loop()
+        loop_holder["loop"] = loop
+        asyncio.set_event_loop(loop)
+
+        async def _start() -> None:
+            await service.start()
+            started.set()
+
+        try:
+            loop.run_until_complete(_start())
+            loop.run_forever()
+        finally:
+            loop.run_until_complete(service.close())
+            loop.close()
+
+    thread = threading.Thread(target=_run, name="repro-service", daemon=True)
+    thread.start()
+    if not started.wait(timeout=30):
+        raise RuntimeError("service failed to start within 30s")
+    base_url = f"http://{service.config.host}:{service.port}"
+
+    def stop() -> None:
+        loop = loop_holder.get("loop")
+        if loop is not None and loop.is_running():
+            loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=30)
+
+    return service, base_url, stop

@@ -23,7 +23,7 @@ import os
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Callable
 
 from repro.common.config import MachineConfig, SimulationConfig
 from repro.common.errors import ReproError
@@ -46,8 +46,33 @@ __all__ = [
     "FleetError",
     "JobFailure",
     "TelemetryConfig",
+    "export_cache_stats",
     "run_telemetered_job",
 ]
+
+
+def export_cache_stats(registry: MetricsRegistry, stats: dict[str, int]) -> None:
+    """Export a :meth:`ResultDiskCache.stats` snapshot as registry gauges.
+
+    Shapes the cache's behaviour for ``/metrics`` scrapers:
+    ``repro_cache_entries`` / ``repro_cache_bytes`` for the on-disk
+    footprint and ``repro_cache_session_ops{op=...}`` for the
+    per-session hit/miss/store/eviction counters.  Idempotent -- gauge
+    families are created once and re-set on every call.
+    """
+    registry.gauge("repro_cache_entries", "Result disk-cache entries on disk").set(
+        stats.get("entries", 0)
+    )
+    registry.gauge("repro_cache_bytes", "Result disk-cache bytes on disk").set(
+        stats.get("bytes", 0)
+    )
+    ops = registry.gauge(
+        "repro_cache_session_ops",
+        "Disk-cache operations this session by kind",
+        ("op",),
+    )
+    for op in ("hits", "misses", "stores", "evictions"):
+        ops.set(stats.get(op, 0), op=op)
 
 
 class FleetError(ReproError):
@@ -105,6 +130,11 @@ class TelemetryConfig:
             aggregate a session).
         merged_profile: fleet-wide hot-function aggregate (filled only
             when :attr:`profile` is set).
+        monitor_hook: called with the live
+            :class:`~repro.telemetry.heartbeat.FleetMonitor` right after
+            the batch builds it, so an embedding layer (the service
+            scheduler) can read per-job heartbeat progress while the
+            batch is in flight.  None (the default) changes nothing.
     """
 
     ledger: RunLedger | None = None
@@ -116,6 +146,7 @@ class TelemetryConfig:
     profile: bool = False
     registry: MetricsRegistry = field(default_factory=MetricsRegistry)
     merged_profile: MergedProfile = field(default_factory=MergedProfile)
+    monitor_hook: Callable[[Any], None] | None = None
 
     def metrics(self) -> dict[str, Any]:
         """The standard fleet metric families (created idempotently)."""

@@ -149,8 +149,12 @@ class RunLedger:
     def entries(self) -> Iterator[LedgerEntry]:
         """Every readable entry, oldest first.
 
-        Torn lines (a writer crashed mid-record) and entries from a
-        newer schema are skipped, never fatal.
+        Torn lines (a writer crashed mid-record), entries from a newer
+        schema, and records without a usable ``config_key`` (pre-PR-4
+        lines predate content keying; foreign JSONL may lack one
+        entirely) are skipped, never fatal -- every query/summarize/
+        hydration path sits on top of this reader, so tolerating mixed
+        schemas here fixes them all at once.
         """
         try:
             fh = self.path.open("r", encoding="utf-8")
@@ -169,6 +173,8 @@ class RunLedger:
                     continue
                 if data.get("schema", 1) > LEDGER_SCHEMA_VERSION:
                     continue  # written by a future version of this code
+                if not isinstance(data.get("config_key"), str) or not data["config_key"]:
+                    continue  # pre-content-key record: no usable identity
                 try:
                     yield LedgerEntry.from_dict(data)
                 except TypeError:
