@@ -332,9 +332,52 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fetch_trace_document(url: str, run_id: str) -> dict:
+    """GET the stitched trace for ``run_id`` from a running service."""
+    import json as json_module
+    import urllib.error
+    import urllib.request
+
+    endpoint = f"{url.rstrip('/')}/runs/{run_id}/trace"
+    try:
+        with urllib.request.urlopen(endpoint, timeout=30.0) as response:
+            return json_module.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        detail = exc.read().decode("utf-8", "replace").strip()
+        raise RuntimeError(f"{endpoint}: HTTP {exc.code} -- {detail}") from exc
+    except urllib.error.URLError as exc:
+        raise RuntimeError(
+            f"{endpoint}: {exc.reason} (is `repro serve --trace` running?)"
+        ) from exc
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.trace.io import load_multitrace, save_multitrace
 
+    if args.run_id or args.load:
+        import json as json_module
+        from pathlib import Path
+
+        from repro.telemetry.tracing import render_waterfall
+
+        if args.load:
+            doc = json_module.loads(Path(args.load).read_text(encoding="utf-8"))
+        else:
+            try:
+                doc = _fetch_trace_document(args.url, args.run_id)
+            except RuntimeError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 1
+        if args.save:
+            path = Path(args.save)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(
+                json_module.dumps(doc, indent=2, sort_keys=True) + "\n",
+                encoding="utf-8",
+            )
+            print(f"wrote {path} (load it at https://ui.perfetto.dev)")
+        print(render_waterfall(doc))
+        return 0
     if args.info:
         trace = load_multitrace(args.info)
         stats = compute_stats(trace)
@@ -345,7 +388,11 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         )
         return 0
     if not (args.workload and args.out):
-        print("error: trace requires --info FILE, or --workload and --out", file=sys.stderr)
+        print(
+            "error: trace requires a RUN_ID (or --load FILE), --info FILE, "
+            "or --workload and --out",
+            file=sys.stderr,
+        )
         return 2
     runner = _runner(args)
     trace = runner.clean_trace(args.workload, restructured=args.restructured)
@@ -721,6 +768,19 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     # on stdout, so the progress line (and every banner) is suppressed.
     as_json = args.json
     telemetry = _telemetry_from_args(args, progress=not args.no_progress and not as_json)
+    tracer = None
+    trace_ids: dict[str, str] = {}
+    if args.trace:
+        from repro.telemetry.tracing import SpanTracer, new_trace_id
+
+        tracer = SpanTracer()
+        for workload, strategy, job_machine in jobs:
+            transfer = job_machine.describe().get("transfer_cycles", "?")
+            trace_ids[f"{workload}/{strategy.name}@{transfer}c"] = new_trace_id()
+        telemetry.trace_contexts = {
+            label: (tid, None) for label, tid in trace_ids.items()
+        }
+        telemetry.span_sink = tracer.record_dict
     if not as_json:
         print(
             f"fleet: {len(jobs)} grid points ({len(workloads)} workloads x "
@@ -766,6 +826,9 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             "ledger": str(telemetry.ledger.path) if telemetry.ledger else None,
             "metrics": registry.to_json(),
         }
+        if tracer is not None:
+            doc["trace_ids"] = trace_ids
+            doc["spans_recorded"] = tracer.recorded
         print(json_module.dumps(doc, indent=2, sort_keys=True))
     else:
         print(
@@ -773,6 +836,11 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             f"{families['events'].value():,.0f} events retired, "
             f"{families['wall'].sum():.2f}s simulating"
         )
+        if tracer is not None:
+            print(
+                f"tracing: {tracer.recorded} spans across "
+                f"{len(trace_ids)} run traces (ledger entries carry trace_id)"
+            )
         if stats is not None:
             print(
                 f"disk cache: {stats['hits']} hits / {stats['misses']} misses this "
@@ -950,14 +1018,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_workers=args.workers,
         job_timeout=args.job_timeout,
         max_batch=args.max_batch,
+        trace=args.trace,
+        drain_timeout=args.drain_timeout,
     )
     print(
         f"repro service on http://{config.host}:{config.port} "
         f"(cache: {config.cache_dir or 'off'}, ledger: {config.ledger_path or 'off'}, "
-        f"{config.max_workers or 1} sim worker(s)) -- Ctrl-C to stop"
+        f"{config.max_workers or 1} sim worker(s), "
+        f"tracing {'on' if config.trace else 'off'}) -- Ctrl-C to stop"
     )
     print(
-        "  POST /runs  GET /runs  GET /runs/{id}  GET /runs/{id}/result  GET /metrics"
+        "  POST /runs  GET /runs  GET /runs/{id}  GET /runs/{id}/result  "
+        "GET /runs/{id}/trace  GET /metrics"
     )
     serve(config)
     return 0
@@ -1016,10 +1088,23 @@ def build_parser() -> argparse.ArgumentParser:
     _add_machine_args(p)
     p.set_defaults(func=_cmd_analyze)
 
-    p = sub.add_parser("trace", help="save or inspect a workload trace file")
+    p = sub.add_parser(
+        "trace",
+        help="request-trace waterfall for a service run, or workload trace files",
+    )
+    p.add_argument(
+        "run_id", nargs="?",
+        help="service run id: fetch its stitched trace and print a waterfall",
+    )
+    p.add_argument(
+        "--url", default="http://127.0.0.1:8787",
+        help="service base URL (default http://127.0.0.1:8787)",
+    )
+    p.add_argument("--load", help="render a previously saved trace JSON instead of fetching")
+    p.add_argument("--save", help="also write the fetched trace JSON here (Perfetto-loadable)")
     p.add_argument("--workload", choices=ALL_WORKLOAD_NAMES)
-    p.add_argument("--out", help="write the generated trace to this .gz file")
-    p.add_argument("--info", help="print statistics of an existing trace file")
+    p.add_argument("--out", help="write the generated workload trace to this .gz file")
+    p.add_argument("--info", help="print statistics of an existing workload trace file")
     p.add_argument("--restructured", action="store_true")
     _add_machine_args(p)
     p.set_defaults(func=_cmd_trace)
@@ -1162,6 +1247,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="emit one JSON document (grid, outcomes, cache, metrics) instead of text",
     )
+    p.add_argument(
+        "--trace", action="store_true",
+        help="record per-run spans; stamps trace_id into ledger entries and --json",
+    )
     add_telemetry_args(p)
     p.set_defaults(func=_cmd_fleet)
 
@@ -1225,6 +1314,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--max-batch", type=int, default=32,
         help="most queued runs folded into one simulation batch (default 32)",
+    )
+    p.add_argument(
+        "--trace", action="store_true",
+        help="record request/stage spans; enables GET /runs/{id}/trace",
+    )
+    p.add_argument(
+        "--drain-timeout", type=float, default=30.0,
+        help="seconds to wait for in-flight runs on shutdown (default 30)",
     )
     p.set_defaults(func=_cmd_serve)
 

@@ -441,6 +441,7 @@ class ExperimentRunner:
         if telemetry.ledger is None:
             return
         workload, strategy, machine, restructured = job
+        trace_ctx = telemetry.trace_context(self._job_label(job))
         telemetry.ledger.append(
             LedgerEntry(
                 config_key=content_key(
@@ -461,6 +462,7 @@ class ExperimentRunner:
                 events_per_sec=round(events / wall_seconds, 3) if wall_seconds > 0 else 0.0,
                 worker_pid=worker_pid or os.getpid(),
                 summary=result.describe(),
+                trace_id=trace_ctx[0] if trace_ctx is not None else None,
             )
         )
 
@@ -475,6 +477,7 @@ class ExperimentRunner:
         if telemetry.ledger is None:
             return
         workload, strategy, machine, restructured = job
+        trace_ctx = telemetry.trace_context(self._job_label(job))
         telemetry.ledger.append(
             LedgerEntry(
                 config_key=content_key(
@@ -492,6 +495,7 @@ class ExperimentRunner:
                 cache="off",
                 worker_pid=os.getpid(),
                 error=message,
+                trace_id=trace_ctx[0] if trace_ctx is not None else None,
             )
         )
 
@@ -572,9 +576,18 @@ class ExperimentRunner:
         else:
             manager = None
             beat_queue = queue_module.SimpleQueue()
-        monitor = FleetMonitor(beat_queue, labels, watchdog=watchdog, render=render)
+        monitor = FleetMonitor(
+            beat_queue,
+            labels,
+            watchdog=watchdog,
+            render=render,
+            span_sink=telemetry.span_sink,
+        )
         if telemetry.monitor_hook is not None:
-            telemetry.monitor_hook(monitor)
+            try:
+                telemetry.monitor_hook(monitor)
+            except Exception:
+                pass  # the hook is observability; it never fails the batch
         try:
             with monitor:
                 if parallel:
@@ -599,6 +612,7 @@ class ExperimentRunner:
                                 queue=beat_queue,
                                 heartbeat_interval=telemetry.heartbeat_interval,
                                 profile=telemetry.profile,
+                                trace_ctx=telemetry.trace_context(labels[j]),
                             )
                         except Exception as exc:
                             fail(j, job, "error", str(exc) or type(exc).__name__)
@@ -661,6 +675,7 @@ class ExperimentRunner:
                     beat_queue,
                     telemetry.heartbeat_interval,
                     telemetry.profile,
+                    telemetry.trace_context(labels[j]),
                 )
                 for j, (_key, (workload, strategy, machine, restructured)) in enumerate(
                     pending

@@ -20,9 +20,22 @@ Routes (all JSON unless noted):
   ``progress`` while running.
 * ``GET /runs/{run_id}/result`` -- the RunMetrics document;
   ``?view=c2c`` serves the per-cache-line attribution report instead.
+* ``GET /runs/{run_id}/trace`` -- the stitched Chrome-trace JSON of a
+  traced run (service spans + engine timeline; ``?engine=0`` skips the
+  engine sub-trace).  Requires ``ServiceConfig.trace``.
 * ``GET /metrics`` -- Prometheus text exposition (fleet counters, cache
-  gauges, service request/dedup/queue-depth series).
+  gauges, service request/dedup/queue-depth series, request and
+  per-stage latency histograms).
 * ``GET /healthz`` -- liveness probe.
+
+With tracing on, every ``POST /runs`` response carries an
+``X-Repro-Trace-Id`` header (the request's trace; a single-point POST's
+run adopts it, so its timeline includes request parse/validate) and
+each run reference carries the run's ``trace_id``.
+
+Shutdown is graceful: SIGTERM/SIGINT stop the listener, drain in-flight
+runs (bounded by ``drain_timeout``), then exit 0 -- the ledger is
+already flushed per append and retained spans live until exit.
 """
 
 from __future__ import annotations
@@ -30,7 +43,9 @@ from __future__ import annotations
 import asyncio
 import itertools
 import json
+import signal
 import threading
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
@@ -43,6 +58,7 @@ from repro.service.store import LedgerRunStore
 from repro.telemetry.fleet import export_cache_stats
 from repro.telemetry.ledger import RunLedger
 from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.tracing import SpanTracer, new_trace_id
 
 __all__ = ["ReproService", "ServiceConfig", "serve", "serve_in_thread"]
 
@@ -79,6 +95,13 @@ class ServiceConfig:
         max_workers: process-pool width for each simulation batch.
         job_timeout: per-run result deadline in seconds (None: none).
         max_batch: most queued runs folded into one batch.
+        trace: enable end-to-end request tracing
+            (:mod:`repro.telemetry.tracing`).  Off by default: untraced
+            responses and ledger lines stay byte-identical to pre-
+            tracing builds.
+        trace_capacity: spans retained in the tracer's ring buffer.
+        drain_timeout: graceful-shutdown bound in seconds -- how long
+            SIGTERM/SIGINT waits for queued and in-flight runs.
     """
 
     host: str = "127.0.0.1"
@@ -89,6 +112,9 @@ class ServiceConfig:
     max_workers: int = 0
     job_timeout: float | None = None
     max_batch: int = 32
+    trace: bool = False
+    trace_capacity: int = 4096
+    drain_timeout: float = 30.0
 
 
 def _expand_sweep(grid: dict[str, Any]) -> list[dict[str, Any]]:
@@ -123,10 +149,16 @@ class ReproService:
         self.registry = MetricsRegistry()
         self.ledger: RunLedger | None = None
         if self.config.ledger_path is not None:
+            # ledger_path names the FILE; RunLedger takes (root, filename).
+            # Passing the file path as root used to bury the ledger at
+            # <path>/runs.jsonl, invisible to every RunLedger(<dir>) reader.
             path = Path(self.config.ledger_path)
             path.parent.mkdir(parents=True, exist_ok=True)
-            self.ledger = RunLedger(path)
+            self.ledger = RunLedger(path.parent, filename=path.name)
         self.store = LedgerRunStore(self.ledger, hydrate=self.config.hydrate)
+        self.tracer = SpanTracer(
+            capacity=self.config.trace_capacity, enabled=self.config.trace
+        )
         self.scheduler = RunScheduler(
             store=self.store,
             registry=self.registry,
@@ -135,13 +167,32 @@ class ReproService:
             max_workers=self.config.max_workers,
             job_timeout=self.config.job_timeout,
             max_batch=self.config.max_batch,
+            tracer=self.tracer,
         )
         self._requests = self.registry.counter(
             "repro_service_requests_total",
             "HTTP requests by method, route and status",
             ("method", "route", "status"),
         )
+        self._request_seconds = self.registry.histogram(
+            "repro_service_request_seconds",
+            "HTTP request latency by route",
+            ("route",),
+        )
+        if self.config.trace:
+            stage_seconds = self.registry.histogram(
+                "repro_service_stage_seconds",
+                "Traced service-stage latency by span name",
+                ("stage",),
+            )
+            # Every recorded span -- including worker spans shipped
+            # across the process boundary -- lands in the histogram,
+            # so /metrics stage sums and the trace always agree.
+            self.tracer.on_record = lambda span: stage_seconds.observe(
+                span.duration, stage=span.name
+            )
         self._server: asyncio.AbstractServer | None = None
+        self.loop: Any = None  # set by serve_in_thread for test harnesses
 
     # -------------------------------------------------------------- lifecycle
 
@@ -167,6 +218,24 @@ class ReproService:
             self._server = None
         await self.scheduler.close()
 
+    async def shutdown(self, drain_timeout: float | None = None) -> bool:
+        """Graceful stop: close the listener, drain in-flight runs, close.
+
+        Stops accepting immediately, then waits up to ``drain_timeout``
+        seconds (default: the config's) for queued and executing runs
+        to reach a terminal state -- their ledger entries and spans are
+        recorded in the process -- before releasing the scheduler.
+        Returns True when everything drained, False on timeout.
+        """
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        timeout = drain_timeout if drain_timeout is not None else self.config.drain_timeout
+        drained = await self.scheduler.drain(timeout=timeout)
+        await self.scheduler.close()
+        return drained
+
     async def run_forever(self) -> None:
         """Start and serve until cancelled."""
         await self.start()
@@ -180,19 +249,22 @@ class ReproService:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         try:
-            status, body, content_type = await self._handle_request(reader)
+            status, body, content_type, extra_headers = await self._handle_request(reader)
         except Exception as exc:  # absolute backstop: never kill the loop
             status = 500
             body = json.dumps({"error": str(exc) or type(exc).__name__}).encode()
             content_type = "application/json"
+            extra_headers = {}
         try:
             reason = _REASONS.get(status, "Unknown")
             head = (
                 f"HTTP/1.1 {status} {reason}\r\n"
                 f"Content-Type: {content_type}\r\n"
                 f"Content-Length: {len(body)}\r\n"
-                "Connection: close\r\n\r\n"
             )
+            for name, value in extra_headers.items():
+                head += f"{name}: {value}\r\n"
+            head += "Connection: close\r\n\r\n"
             writer.write(head.encode("ascii") + body)
             await writer.drain()
         except (ConnectionError, BrokenPipeError):
@@ -206,13 +278,13 @@ class ReproService:
 
     async def _handle_request(
         self, reader: asyncio.StreamReader
-    ) -> tuple[int, bytes, str]:
+    ) -> tuple[int, bytes, str, dict[str, str]]:
         request_line = (await reader.readline()).decode("latin-1").strip()
         if not request_line:
-            return 400, _error_body("empty request"), "application/json"
+            return 400, _error_body("empty request"), "application/json", {}
         parts = request_line.split()
         if len(parts) != 3:
-            return 400, _error_body(f"malformed request line: {request_line!r}"), "application/json"
+            return 400, _error_body(f"malformed request line: {request_line!r}"), "application/json", {}
         method, target, _version = parts
         content_length = 0
         while True:
@@ -224,23 +296,27 @@ class ReproService:
                 try:
                     content_length = int(value.strip())
                 except ValueError:
-                    return 400, _error_body("bad Content-Length"), "application/json"
+                    return 400, _error_body("bad Content-Length"), "application/json", {}
         if content_length > MAX_BODY_BYTES:
-            return 413, _error_body("request body too large"), "application/json"
+            return 413, _error_body("request body too large"), "application/json", {}
         raw_body = await reader.readexactly(content_length) if content_length else b""
 
         url = urlsplit(target)
         path = url.path.rstrip("/") or "/"
         query = {k: v[-1] for k, v in parse_qs(url.query).items()}
-        status, payload, content_type = await self._route(method, path, query, raw_body)
-        self._requests.inc(
-            method=method, route=_route_label(path), status=str(status)
-        )
-        return status, payload, content_type
+        started = time.perf_counter()
+        result = await self._route(method, path, query, raw_body)
+        status, payload, content_type = result[:3]
+        headers: dict[str, str] = result[3] if len(result) > 3 else {}
+        route = _route_label(path)
+        self._request_seconds.observe(time.perf_counter() - started, route=route)
+        self._requests.inc(method=method, route=route, status=str(status))
+        return status, payload, content_type, headers
 
     async def _route(
         self, method: str, path: str, query: dict[str, str], raw_body: bytes
-    ) -> tuple[int, bytes, str]:
+    ) -> tuple:
+        """Dispatch; handlers return 3-tuples or 4-tuples (with headers)."""
         try:
             if path == "/healthz" and method == "GET":
                 return 200, _json_body({"status": "ok", "runs": len(self.store)}), "application/json"
@@ -257,6 +333,11 @@ class ReproService:
                     if method != "GET":
                         return 405, _error_body("use GET"), "application/json"
                     return await self._get_result(run_id, query)
+                if rest.endswith("/trace"):
+                    run_id = rest[: -len("/trace")]
+                    if method != "GET":
+                        return 405, _error_body("use GET"), "application/json"
+                    return await self._get_trace(run_id, query)
                 if method != "GET":
                     return 405, _error_body("use GET"), "application/json"
                 return self._get_run(rest)
@@ -268,35 +349,52 @@ class ReproService:
 
     # ----------------------------------------------------------------- routes
 
-    async def _post_runs(self, raw_body: bytes) -> tuple[int, bytes, str]:
-        try:
-            body = json.loads(raw_body.decode("utf-8")) if raw_body else None
-        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            raise ConfigurationError(f"request body is not valid JSON: {exc}")
-        if not isinstance(body, dict):
-            raise ConfigurationError("request body must be a JSON object")
-        if "sweep" in body:
-            extras = sorted(set(body) - {"sweep"})
-            if extras:
-                raise ConfigurationError(
-                    f"a sweep submission takes only the 'sweep' key, got also: {', '.join(extras)}"
-                )
-            point_dicts = _expand_sweep(body["sweep"])
-        else:
-            point_dicts = [body]
+    async def _post_runs(self, raw_body: bytes) -> tuple:
+        # The request trace: parse/validate spans land here.  A
+        # single-point POST's run adopts this id, so its timeline
+        # reaches back to the HTTP boundary; each sweep point gets its
+        # own trace (one timeline per run), all headed by this id in
+        # the X-Repro-Trace-Id response header.
+        request_trace = new_trace_id() if self.tracer.enabled else None
+        with self.tracer.begin(
+            "request.parse", request_trace or "", bytes_in=len(raw_body)
+        ) as parse_span:
+            try:
+                body = json.loads(raw_body.decode("utf-8")) if raw_body else None
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise ConfigurationError(f"request body is not valid JSON: {exc}")
+            if not isinstance(body, dict):
+                raise ConfigurationError("request body must be a JSON object")
+            if "sweep" in body:
+                extras = sorted(set(body) - {"sweep"})
+                if extras:
+                    raise ConfigurationError(
+                        f"a sweep submission takes only the 'sweep' key, got also: {', '.join(extras)}"
+                    )
+                point_dicts = _expand_sweep(body["sweep"])
+            else:
+                point_dicts = [body]
         # Validate the whole grid before queueing any of it: a sweep
         # with one bad point is rejected atomically.
-        specs = [ScenarioSpec.from_dict(point) for point in point_dicts]
+        with self.tracer.begin(
+            "request.validate",
+            request_trace or "",
+            parent_id=parse_span.span_id or None,
+            points=len(point_dicts),
+        ):
+            specs = [ScenarioSpec.from_dict(point) for point in point_dicts]
         refs = []
-        for spec in specs:
-            meta, deduped = await self.scheduler.submit(spec)
+        for i, spec in enumerate(specs):
+            trace_id = request_trace if len(specs) == 1 else None
+            meta, deduped = await self.scheduler.submit(spec, trace_id=trace_id)
             ref = meta.to_ref().to_dict()
             ref["deduped"] = deduped
             refs.append(ref)
         doc: dict[str, Any] = {"count": len(refs), "runs": refs}
         if len(refs) == 1:
             doc.update(refs[0])
-        return 202, _json_body(doc), "application/json"
+        headers = {"X-Repro-Trace-Id": request_trace} if request_trace else {}
+        return 202, _json_body(doc), "application/json", headers
 
     def _list_runs(self, query: dict[str, str]) -> tuple[int, bytes, str]:
         try:
@@ -332,12 +430,34 @@ class ReproService:
         doc["progress"] = self.scheduler.progress(run_id)
         return 200, _json_body(doc), "application/json"
 
+    async def _get_trace(self, run_id: str, query: dict[str, str]) -> tuple:
+        engine = query.get("engine", "1") not in ("0", "false", "no")
+        try:
+            doc = await self.scheduler.trace_document(run_id, engine=engine)
+        except KeyError:
+            return 404, _error_body(f"unknown run {run_id!r}"), "application/json"
+        return 200, _json_body(doc), "application/json"
+
     async def _get_result(
         self, run_id: str, query: dict[str, str]
     ) -> tuple[int, bytes, str]:
         meta = self.store.get(run_id)
         if meta is None:
             return 404, _error_body(f"unknown run {run_id!r}"), "application/json"
+        serve_span = None
+        if self.tracer.enabled and meta.trace_id is not None:
+            serve_span = self.tracer.begin(
+                "result.serve", meta.trace_id, run_id=run_id
+            )
+        try:
+            return await self._get_result_body(meta, run_id, query)
+        finally:
+            if serve_span is not None:
+                serve_span.end()
+
+    async def _get_result_body(
+        self, meta: Any, run_id: str, query: dict[str, str]
+    ) -> tuple[int, bytes, str]:
         view = query.get("view", "metrics")
         if view not in ("metrics", "c2c"):
             raise ConfigurationError(f"unknown view {view!r}; expected metrics or c2c")
@@ -388,7 +508,11 @@ class ReproService:
 def _route_label(path: str) -> str:
     """Collapse per-run paths to low-cardinality route labels."""
     if path.startswith("/runs/"):
-        return "/runs/{run_id}/result" if path.endswith("/result") else "/runs/{run_id}"
+        if path.endswith("/result"):
+            return "/runs/{run_id}/result"
+        if path.endswith("/trace"):
+            return "/runs/{run_id}/trace"
+        return "/runs/{run_id}"
     return path
 
 
@@ -401,19 +525,42 @@ def _error_body(message: str) -> bytes:
 
 
 def serve(config: ServiceConfig | None = None) -> None:
-    """Run the service in the current thread until interrupted."""
+    """Run the service in the current thread until signalled.
+
+    SIGTERM and SIGINT both trigger a graceful shutdown: stop
+    accepting, drain in-flight runs (bounded by the config's
+    ``drain_timeout``), then return -- the process exits 0.
+    """
     service = ReproService(config)
 
     async def _main() -> None:
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        installed: list[int] = []
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+                installed.append(sig)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass  # non-main thread or unsupported platform
         try:
-            await service.run_forever()
+            await service.start()
+            await stop.wait()
+            drained = await service.shutdown()
+            print(
+                "repro service: shut down "
+                f"({'drained' if drained else 'DRAIN TIMED OUT'}; "
+                f"{len(service.store)} runs known)"
+            )
         finally:
+            for sig in installed:
+                loop.remove_signal_handler(sig)
             await service.close()
 
     try:
         asyncio.run(_main())
     except KeyboardInterrupt:
-        pass
+        pass  # fallback when the signal handler could not be installed
 
 
 def serve_in_thread(
@@ -432,6 +579,7 @@ def serve_in_thread(
     def _run() -> None:
         loop = asyncio.new_event_loop()
         loop_holder["loop"] = loop
+        service.loop = loop  # tests drive coroutines (e.g. shutdown) on it
         asyncio.set_event_loop(loop)
 
         async def _start() -> None:

@@ -235,10 +235,15 @@ class RunRef:
     label: str
     status: str
     created_at: str
+    trace_id: str | None = None
 
     def to_dict(self) -> dict[str, Any]:
-        """JSON-safe dict."""
-        return asdict(self)
+        """JSON-safe dict (``trace_id`` omitted when the run is untraced,
+        keeping untraced responses byte-identical to pre-tracing ones)."""
+        data = asdict(self)
+        if data.get("trace_id") is None:
+            del data["trace_id"]
+        return data
 
 
 @dataclass
@@ -255,6 +260,9 @@ class RunMetadata:
             dedup folds repeats into this counter instead of new runs.
         source: ``"api"`` for runs submitted this process lifetime,
             ``"ledger"`` for history hydrated from the run ledger.
+        trace_id: end-to-end request trace id
+            (:mod:`repro.telemetry.tracing`) assigned at submission
+            when the service runs with tracing on; None when untraced.
     """
 
     spec: ScenarioSpec
@@ -267,6 +275,7 @@ class RunMetadata:
     error: str | None = None
     submissions: int = 1
     source: str = "api"
+    trace_id: str | None = None
 
     def __post_init__(self) -> None:
         if not self.config_key:
@@ -291,11 +300,16 @@ class RunMetadata:
             label=self.label,
             status=self.status.value,
             created_at=self.created_at,
+            trace_id=self.trace_id,
         )
 
     def to_dict(self) -> dict[str, Any]:
-        """JSON-safe dict (the ``GET /runs/{id}`` document body)."""
-        return {
+        """JSON-safe dict (the ``GET /runs/{id}`` document body).
+
+        ``trace_id`` is additive and omitted when None, so untraced
+        documents are byte-identical to pre-tracing ones.
+        """
+        doc = {
             "run_id": self.run_id,
             "config_key": self.config_key,
             "label": self.label,
@@ -308,6 +322,9 @@ class RunMetadata:
             "submissions": self.submissions,
             "source": self.source,
         }
+        if self.trace_id is not None:
+            doc["trace_id"] = self.trace_id
+        return doc
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "RunMetadata":
@@ -321,6 +338,7 @@ class RunMetadata:
             error=data.get("error"),
             submissions=int(data.get("submissions", 1)),
             source=data.get("source", "api"),
+            trace_id=data.get("trace_id"),
         )
 
 

@@ -24,6 +24,7 @@ detail, and surviving points complete normally.
 from __future__ import annotations
 
 import asyncio
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any
 
@@ -36,6 +37,12 @@ from repro.service.store import InMemoryRunStore
 from repro.telemetry.fleet import FleetError, TelemetryConfig
 from repro.telemetry.ledger import RunLedger
 from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.tracing import (
+    ActiveSpan,
+    SpanTracer,
+    new_trace_id,
+    stitch_chrome_trace,
+)
 
 __all__ = ["RunScheduler"]
 
@@ -57,6 +64,10 @@ class RunScheduler:
         job_timeout: per-run result deadline passed to the fleet layer.
         max_batch: most queued runs folded into one executor batch.
         sim_config: engine options applied to every run.
+        tracer: end-to-end span tracer (see
+            :mod:`repro.telemetry.tracing`).  None installs a disabled
+            tracer: every stage call becomes a no-op and the untraced
+            path stays byte-identical.
     """
 
     def __init__(
@@ -69,6 +80,7 @@ class RunScheduler:
         job_timeout: float | None = None,
         max_batch: int = 32,
         sim_config: SimulationConfig | None = None,
+        tracer: SpanTracer | None = None,
     ) -> None:
         self.store: Any = store if store is not None else InMemoryRunStore()
         self.registry = registry if registry is not None else MetricsRegistry()
@@ -78,9 +90,13 @@ class RunScheduler:
         self.job_timeout = job_timeout
         self.max_batch = max(1, max_batch)
         self.sim_config = sim_config if sim_config is not None else SimulationConfig()
+        self.tracer = tracer if tracer is not None else SpanTracer(enabled=False)
         self._runners: dict[_Frame, ExperimentRunner] = {}
         self._results: dict[str, RunMetrics] = {}
         self._c2c: dict[str, dict[str, Any]] = {}
+        self._engine_traces: dict[str, dict[str, Any]] = {}
+        self._queue_spans: dict[str, ActiveSpan] = {}
+        self._busy = False
         self._queue: asyncio.Queue[str] = asyncio.Queue()
         self._executor = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="repro-service-sim"
@@ -107,6 +123,21 @@ class RunScheduler:
         if self._worker is None or self._worker.done():
             self._worker = asyncio.create_task(self._drain(), name="repro-scheduler")
 
+    async def drain(self, timeout: float | None = None) -> bool:
+        """Wait for the queue to empty and in-flight batches to finish.
+
+        Graceful-shutdown support: polls until nothing is queued and no
+        batch is executing, bounded by ``timeout`` seconds (None waits
+        indefinitely).  Returns True when fully drained, False on
+        timeout with work still pending.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while self._queue.qsize() > 0 or self._busy:
+            if deadline is not None and time.monotonic() > deadline:
+                return False
+            await asyncio.sleep(0.05)
+        return True
+
     async def close(self) -> None:
         """Cancel the worker and release the executor."""
         if self._worker is not None:
@@ -120,22 +151,35 @@ class RunScheduler:
 
     # ------------------------------------------------------------- submission
 
-    async def submit(self, spec: ScenarioSpec) -> tuple[RunMetadata, bool]:
+    async def submit(
+        self, spec: ScenarioSpec, trace_id: str | None = None
+    ) -> tuple[RunMetadata, bool]:
         """Submit one scenario; returns ``(metadata, deduped)``.
 
         Dedup semantics: a queued, running, or completed-with-result run
         for the same ``config_key`` absorbs the submission.  A failed
         run -- or a ledger-hydrated "completed" run whose result is no
         longer materialized anywhere -- is re-queued.
+
+        With tracing on, a new run adopts ``trace_id`` (or mints one)
+        as its end-to-end trace; every submission -- including deduped
+        ones -- records a ``submit`` span with the dedup decision onto
+        the run's trace.
         """
         existing = self.store.by_key(spec.config_key)
         if existing is not None:
             existing.submissions += 1
+            if self.tracer.enabled and existing.trace_id is None:
+                # Pre-tracing or hydrated run: give it a trace so the
+                # decision spans below have somewhere to land.
+                existing.trace_id = trace_id or new_trace_id()
             if existing.status in (RunStatus.QUEUED, RunStatus.RUNNING):
                 self._submissions.inc(result="dedup")
+                self._submit_span(existing, "dedup")
                 return existing, True
             if existing.status is RunStatus.COMPLETED and self._result_available(existing):
                 self._submissions.inc(result="dedup")
+                self._submit_span(existing, "dedup")
                 return existing, True
             # Failed, or completed but the result evaporated: run again.
             existing.status = RunStatus.QUEUED
@@ -144,14 +188,36 @@ class RunScheduler:
             existing.finished_at = None
             existing.source = "api"
             self._submissions.inc(result="requeued")
-            await self._enqueue(existing)
+            parent = self._submit_span(existing, "requeued")
+            await self._enqueue(existing, parent)
             return existing, False
         meta = self.store.put(RunMetadata(spec=spec))
+        if self.tracer.enabled:
+            meta.trace_id = trace_id or new_trace_id()
         self._submissions.inc(result="new")
-        await self._enqueue(meta)
+        parent = self._submit_span(meta, "new")
+        await self._enqueue(meta, parent)
         return meta, False
 
-    async def _enqueue(self, meta: RunMetadata) -> None:
+    def _submit_span(self, meta: RunMetadata, decision: str) -> str | None:
+        """Record the dedup-decision span; returns its id (chain parent)."""
+        if not self.tracer.enabled or meta.trace_id is None:
+            return None
+        span = self.tracer.begin(
+            "submit",
+            meta.trace_id,
+            run_id=meta.run_id,
+            result=decision,
+            submissions=meta.submissions,
+        ).end()
+        return span.span_id
+
+    async def _enqueue(self, meta: RunMetadata, parent_span_id: str | None = None) -> None:
+        if self.tracer.enabled and meta.trace_id is not None:
+            # Left open until batch pickup marks the run RUNNING.
+            self._queue_spans[meta.run_id] = self.tracer.begin(
+                "queue.wait", meta.trace_id, parent_id=parent_span_id, run_id=meta.run_id
+            )
         await self._queue.put(meta.run_id)
         self._queue_depth.set(self._queue.qsize())
         self._refresh_run_gauge()
@@ -178,11 +244,17 @@ class RunScheduler:
                 seen.add(meta.run_id)
                 metas.append(meta)
             if metas:
-                await self._run_batch(metas)
+                self._busy = True
+                try:
+                    await self._run_batch(metas)
+                finally:
+                    self._busy = False
             self._refresh_run_gauge()
 
     async def _run_batch(self, metas: list[RunMetadata]) -> None:
         """Execute one batch, grouped by runner frame and unique label."""
+        batch_wall = time.time()
+        batch_perf = time.perf_counter()
         by_frame: dict[_Frame, list[RunMetadata]] = {}
         for meta in metas:
             spec = meta.spec
@@ -204,12 +276,46 @@ class RunScheduler:
                         wave.append(meta)
                 group = rest
                 now = utc_now()
+                exec_spans: dict[str, ActiveSpan] = {}
+                trace_ctxs: dict[str, tuple[str, str | None]] = {}
                 for meta in wave:
                     meta.status = RunStatus.RUNNING
                     meta.started_at = now
+                    if self.tracer.enabled and meta.trace_id is not None:
+                        # Queue wait ends at batch pickup; assembly
+                        # covers grouping/wave formation; the execute
+                        # span then covers dispatch + simulation + the
+                        # outcome bookkeeping, and parents the worker's
+                        # own spans across the process boundary.
+                        queued = self._queue_spans.pop(meta.run_id, None)
+                        parent = None
+                        if queued is not None:
+                            parent = queued.annotate(batch=len(metas)).end().span_id
+                        parent = self._record_interval(
+                            "batch.assemble",
+                            meta,
+                            batch_wall,
+                            time.perf_counter() - batch_perf,
+                            parent_id=parent,
+                            wave=len(wave),
+                        ) or parent
+                        span = self.tracer.begin(
+                            "execute",
+                            meta.trace_id,
+                            parent_id=parent,
+                            run_id=meta.run_id,
+                            batch=len(wave),
+                        )
+                        exec_spans[meta.run_id] = span
+                        trace_ctxs[meta.label] = (meta.trace_id, span.span_id)
                 self._refresh_run_gauge()
                 outcomes = await loop.run_in_executor(
-                    self._executor, self._execute_wave, frame, [m.spec for m in wave]
+                    self._executor,
+                    self._execute_wave,
+                    frame,
+                    [m.spec for m in wave],
+                    trace_ctxs,
+                    (time.time(), time.perf_counter()),
                 )
                 done = utc_now()
                 for meta in wave:
@@ -222,16 +328,72 @@ class RunScheduler:
                     else:
                         meta.status = RunStatus.FAILED
                         meta.error = detail
+                    span = exec_spans.pop(meta.run_id, None)
+                    if span is not None:
+                        span.annotate(status_out=meta.status.value).end(
+                            status="ok" if state is RunStatus.COMPLETED else "error"
+                        )
                 self._monitor = None
                 self._refresh_run_gauge()
 
+    def _record_interval(
+        self,
+        name: str,
+        meta: RunMetadata,
+        start_wall: float,
+        duration: float,
+        parent_id: str | None = None,
+        **attributes: Any,
+    ) -> str | None:
+        """Record an already-measured stage span; returns its id."""
+        if not self.tracer.enabled or meta.trace_id is None:
+            return None
+        from repro.telemetry.tracing import Span
+
+        span = Span(
+            name=name,
+            trace_id=meta.trace_id,
+            parent_id=parent_id,
+            start=start_wall,
+            duration=duration,
+            attributes={"run_id": meta.run_id, **attributes},
+        )
+        self.tracer.record(span)
+        return span.span_id
+
     def _execute_wave(
-        self, frame: _Frame, specs: list[ScenarioSpec]
+        self,
+        frame: _Frame,
+        specs: list[ScenarioSpec],
+        trace_ctxs: dict[str, tuple[str, str | None]] | None = None,
+        dispatch_epoch: tuple[float, float] | None = None,
     ) -> dict[str, tuple[RunStatus, Any]]:
         """Run one label-unique wave synchronously (executor thread).
 
         Returns ``{run_id: (COMPLETED, RunMetrics) | (FAILED, detail)}``.
         """
+        if trace_ctxs and dispatch_epoch is not None and self.tracer.enabled:
+            # Executor-dispatch latency: event-loop handoff to this
+            # thread actually starting (nonzero when a prior batch
+            # still holds the single simulation slot).
+            from repro.telemetry.tracing import Span
+
+            wall, perf = dispatch_epoch
+            waited = time.perf_counter() - perf
+            for spec in specs:
+                ctx = trace_ctxs.get(spec.label)
+                if ctx is None:
+                    continue
+                self.tracer.record(
+                    Span(
+                        name="executor.dispatch",
+                        trace_id=ctx[0],
+                        parent_id=ctx[1],
+                        start=wall,
+                        duration=waited,
+                        attributes={"run_id": spec.run_id},
+                    )
+                )
         runner = self._runner(frame)
         jobs = [
             (spec.workload, spec.strategy_obj(), spec.machine(), spec.restructured)
@@ -244,6 +406,8 @@ class RunScheduler:
             kill_stalled=self.job_timeout is not None,
             registry=self.registry,
             monitor_hook=self._capture_monitor,
+            trace_contexts=trace_ctxs if trace_ctxs else None,
+            span_sink=self.tracer.record_dict if self.tracer.enabled else None,
         )
         outcomes: dict[str, tuple[RunStatus, Any]] = {}
         try:
@@ -394,6 +558,61 @@ class RunScheduler:
             advise(runner.clean_trace(spec.workload, restructured=spec.restructured)),
         )
         return c2c_to_dict(profile, heats, label=spec.label)
+
+    async def trace_document(self, run_id: str, engine: bool = True) -> dict[str, Any]:
+        """The run's stitched Chrome-trace document (``GET .../trace``).
+
+        Service spans come from the tracer's ring; with ``engine`` and
+        a completed run, the intra-run engine timeline is computed on
+        demand -- an *observed* re-simulation in the executor, exactly
+        the :meth:`c2c` pattern (observed runs are bit-identical to the
+        original, so the cycle timeline IS the run's timeline) -- and
+        memoised per run id.
+        """
+        meta = self.store.get(run_id)
+        if meta is None:
+            raise KeyError(run_id)
+        if not self.tracer.enabled:
+            raise ReproError(
+                "tracing is disabled; start the service with tracing on "
+                "(repro serve --trace) to record request timelines"
+            )
+        if meta.trace_id is None:
+            raise ReproError(
+                f"run {run_id} has no trace (submitted before tracing was enabled)"
+            )
+        spans = self.tracer.spans(meta.trace_id)
+        engine_trace = None
+        if engine and meta.status is RunStatus.COMPLETED:
+            engine_trace = self._engine_traces.get(run_id)
+            if engine_trace is None:
+                loop = asyncio.get_running_loop()
+                engine_trace = await loop.run_in_executor(
+                    self._executor, self._compute_engine_trace, meta.spec
+                )
+                self._engine_traces[run_id] = engine_trace
+        doc = stitch_chrome_trace(spans, engine_trace, label=meta.label)
+        doc["otherData"]["run_id"] = run_id
+        doc["otherData"]["trace_id"] = meta.trace_id
+        doc["otherData"]["status"] = meta.status.value
+        doc["otherData"]["spans_dropped"] = self.tracer.dropped
+        return doc
+
+    def _compute_engine_trace(self, spec: ScenarioSpec) -> dict[str, Any]:
+        from repro.obs.export import chrome_trace
+
+        # Observed runs bypass the disk cache by design, so this runner
+        # is private to the computation and never pollutes shared state.
+        runner = ExperimentRunner(
+            num_cpus=spec.num_cpus,
+            seed=spec.seed,
+            scale=spec.scale,
+            sim_config=SimulationConfig(observe=True),
+        )
+        result = runner.run(
+            spec.workload, spec.strategy_obj(), spec.machine(), spec.restructured
+        )
+        return chrome_trace(result.obs, label=spec.label)
 
     def cache_stats(self) -> dict[str, int] | None:
         """Combined disk-cache statistics across runner frames.

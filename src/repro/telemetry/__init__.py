@@ -18,6 +18,10 @@ the experiment fleet is doing right now and what it has done before.
 * :mod:`~repro.telemetry.fleet` -- :class:`TelemetryConfig` (the knob
   bundle ``ExperimentRunner.run_many`` accepts) and the telemetered
   pool worker.
+* :mod:`~repro.telemetry.tracing` -- end-to-end request tracing:
+  dependency-free spans (trace/span/parent ids), a ring-buffered
+  collector, and Chrome-trace stitching of service stages over the
+  intra-run engine timeline.
 
 Telemetry is strictly opt-in: a runner without a
 :class:`~repro.telemetry.fleet.TelemetryConfig` takes its original
@@ -52,8 +56,18 @@ from repro.telemetry.ledger import (
 )
 from repro.telemetry.profiling import MergedProfile, profiled
 from repro.telemetry.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.telemetry.tracing import (
+    ActiveSpan,
+    Span,
+    SpanTracer,
+    new_span_id,
+    new_trace_id,
+    render_waterfall,
+    stitch_chrome_trace,
+)
 
 __all__ = [
+    "ActiveSpan",
     "Band",
     "Counter",
     "DEFAULT_LEDGER_DIR",
@@ -76,10 +90,16 @@ __all__ = [
     "MetricsRegistry",
     "QUICK_FRAME",
     "RunLedger",
+    "Span",
+    "SpanTracer",
     "TelemetryConfig",
     "Watchdog",
     "evaluate",
+    "new_span_id",
+    "new_trace_id",
     "profiled",
+    "render_waterfall",
     "run_drift",
+    "stitch_chrome_trace",
     "summaries_from_ledger",
 ]

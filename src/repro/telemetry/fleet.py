@@ -134,7 +134,18 @@ class TelemetryConfig:
             :class:`~repro.telemetry.heartbeat.FleetMonitor` right after
             the batch builds it, so an embedding layer (the service
             scheduler) can read per-job heartbeat progress while the
-            batch is in flight.  None (the default) changes nothing.
+            batch is in flight.  Exceptions from the hook are swallowed
+            -- it is observability, never allowed to fail the batch.
+            None (the default) changes nothing.
+        trace_contexts: per-label trace propagation for end-to-end
+            request tracing: ``{job_label: (trace_id, parent_span_id)}``.
+            Workers whose label has a context emit ``worker.run`` /
+            ``engine.simulate`` spans over the heartbeat queue (see
+            :mod:`repro.telemetry.tracing`); labels without one run
+            untraced.  None (the default) traces nothing.
+        span_sink: parent-side destination for those worker spans
+            (span dicts), wired into the batch's FleetMonitor;
+            typically ``SpanTracer.record_dict``.
     """
 
     ledger: RunLedger | None = None
@@ -147,6 +158,14 @@ class TelemetryConfig:
     registry: MetricsRegistry = field(default_factory=MetricsRegistry)
     merged_profile: MergedProfile = field(default_factory=MergedProfile)
     monitor_hook: Callable[[Any], None] | None = None
+    trace_contexts: dict[str, tuple[str, str | None]] | None = None
+    span_sink: Callable[[dict[str, Any]], None] | None = None
+
+    def trace_context(self, label: str) -> tuple[str, str | None] | None:
+        """The ``(trace_id, parent_span_id)`` for a job label, or None."""
+        if self.trace_contexts is None:
+            return None
+        return self.trace_contexts.get(label)
 
     def metrics(self) -> dict[str, Any]:
         """The standard fleet metric families (created idempotently)."""
@@ -187,6 +206,7 @@ def run_telemetered_job(
     queue: Any = None,
     heartbeat_interval: float = DEFAULT_BEAT_INTERVAL,
     profile: bool = False,
+    trace_ctx: tuple[str, str | None] | None = None,
 ) -> dict[str, Any]:
     """Run one simulation in a worker, streaming heartbeats.
 
@@ -197,10 +217,32 @@ def run_telemetered_job(
     * an :class:`EngineSampler` beating ``queue`` (when given) from a
       daemon thread while the engine runs;
     * optional ``cProfile`` capture (``profile_rows`` in the envelope);
-    * wall time, events retired and the worker PID for the ledger.
+    * wall time, events retired and the worker PID for the ledger;
+    * with ``trace_ctx`` (a ``(trace_id, parent_span_id)`` pair),
+      ``worker.run`` and ``engine.simulate`` spans shipped back over
+      the same ``queue`` the heartbeats ride, as
+      ``{"kind": "span", "span": {...}}`` messages the parent-side
+      :class:`~repro.telemetry.heartbeat.FleetMonitor` routes to its
+      span sink.  Span emission is best-effort: a gone parent or full
+      queue never fails the simulation.
     """
     start = time.perf_counter()
     sender = HeartbeatSender(queue, heartbeat_interval) if queue is not None else None
+    spans: list[Any] = []
+    worker_span: Any = None
+    if trace_ctx is not None and queue is not None:
+        from repro.telemetry.tracing import Span, new_span_id
+
+        trace_id, parent_span_id = trace_ctx
+        worker_span = Span(
+            name="worker.run",
+            trace_id=trace_id,
+            span_id=new_span_id(),
+            parent_id=parent_span_id,
+            start=time.time(),
+            attributes={"label": label, "pid": os.getpid()},
+        )
+        spans.append(worker_span)
 
     tkey = (workload, restructured, num_cpus, seed, scale)
     trace = _WORKER_TRACES.get(tkey)
@@ -229,6 +271,19 @@ def run_telemetered_job(
             sim_config if sim_config is not None else SimulationConfig(),
             adaptive=strategy.adaptive_config(),
         )
+        if worker_span is not None:
+            from repro.telemetry.tracing import Span, new_span_id
+
+            engine_span = Span(
+                name="engine.simulate",
+                trace_id=worker_span.trace_id,
+                span_id=new_span_id(),
+                parent_id=worker_span.span_id,
+                start=time.time(),
+                attributes={"label": label, "total_events": total_events},
+            )
+            spans.append(engine_span)
+            sim_t0 = time.perf_counter()
         if sender is not None:
             sampler = EngineSampler(
                 engine, sender, job, label, total_events, heartbeat_interval
@@ -238,9 +293,20 @@ def run_telemetered_job(
         else:
             engine.run()
         result = engine.collect_metrics(strategy_label)
+        if worker_span is not None:
+            engine_span.duration = time.perf_counter() - sim_t0
+            engine_span.attributes["exec_cycles"] = engine.now
 
     wall = time.perf_counter() - start
     events = sum(proc.pc for proc in engine.procs)
+    if worker_span is not None:
+        worker_span.duration = wall
+        worker_span.attributes["events"] = events
+        for span in spans:
+            try:
+                queue.put({"kind": "span", "span": span.to_dict()})
+            except Exception:
+                pass  # parent gone (shutdown race); spans are best-effort
     return {
         "metrics": result.to_dict(),
         "wall_seconds": wall,

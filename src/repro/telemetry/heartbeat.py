@@ -266,6 +266,10 @@ class FleetMonitor:
             stderr); None disables rendering.
         poll_interval: queue-drain and watchdog period in seconds.
         clock: time source (injectable for tests).
+        span_sink: callback fed worker-emitted trace spans (the
+            ``{"kind": "span", "span": {...}}`` messages that share the
+            heartbeat queue; see :mod:`repro.telemetry.tracing`).  None
+            drops them -- tracing is strictly opt-in.
 
     Use as a context manager around the pool lifetime; or drive
     :meth:`feed` / :meth:`tick` by hand for deterministic tests.
@@ -279,12 +283,14 @@ class FleetMonitor:
         render: Callable[[str], None] | None = None,
         poll_interval: float = 0.2,
         clock: Callable[[], float] = time.monotonic,
+        span_sink: Callable[[dict[str, Any]], None] | None = None,
     ) -> None:
         self.queue = queue
         self.watchdog = watchdog
         self.render = render
         self.poll_interval = poll_interval
         self.clock = clock
+        self.span_sink = span_sink
         self.jobs: dict[int, JobProgress] = {
             job: JobProgress(job=job, label=label) for job, label in labels.items()
         }
@@ -322,13 +328,26 @@ class FleetMonitor:
             self.done.add(job)
 
     def tick(self) -> None:
-        """One poll cycle: drain the queue, run the watchdog, render."""
+        """One poll cycle: drain the queue, run the watchdog, render.
+
+        The queue carries two message kinds: :class:`Heartbeat` objects
+        (progress) and, when tracing is on, finished-span dicts tagged
+        ``{"kind": "span"}``.  Spans route to :attr:`span_sink`;
+        anything unrecognized is dropped, never fatal.
+        """
         while True:
             try:
                 beat = self.queue.get_nowait()
             except Exception:
                 break  # Empty (or manager shutting down)
-            self.feed(beat)
+            if isinstance(beat, Heartbeat):
+                self.feed(beat)
+            elif isinstance(beat, dict) and beat.get("kind") == "span":
+                if self.span_sink is not None:
+                    try:
+                        self.span_sink(beat.get("span") or {})
+                    except Exception:
+                        pass  # tracing is best-effort; progress is not
         if self.watchdog is not None:
             with self._lock:
                 self.watchdog.check(

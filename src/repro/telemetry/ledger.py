@@ -63,6 +63,10 @@ class LedgerEntry:
         summary: compact result summary (exec cycles, miss rates, bus
             utilization -- see :meth:`repro.metrics.results.RunMetrics.describe`);
             empty for failed runs.
+        trace_id: end-to-end request trace this run belongs to (see
+            :mod:`repro.telemetry.tracing`); None for untraced runs,
+            in which case the key is omitted from the line entirely so
+            pre-tracing ledgers and untraced runs stay byte-identical.
         timestamp: UTC ISO-8601 wall-clock time of the record.
         schema: ledger schema version (see :data:`LEDGER_SCHEMA_VERSION`).
     """
@@ -84,12 +88,21 @@ class LedgerEntry:
     worker_pid: int = 0
     error: str | None = None
     summary: dict[str, Any] = field(default_factory=dict)
+    trace_id: str | None = None
     timestamp: str = ""
     schema: int = LEDGER_SCHEMA_VERSION
 
     def to_dict(self) -> dict[str, Any]:
-        """JSON-safe dict (the exact line format)."""
-        return asdict(self)
+        """JSON-safe dict (the exact line format).
+
+        ``trace_id`` is additive: absent (not null) when the run was
+        untraced, so lines written by untraced fleets are identical to
+        pre-tracing ones.
+        """
+        data = asdict(self)
+        if data.get("trace_id") is None:
+            del data["trace_id"]
+        return data
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "LedgerEntry":

@@ -136,6 +136,68 @@ class TestListParsing:
         assert "PREF(d=400)" in capsys.readouterr().out
 
 
+class TestTraceCli:
+    """The extended `repro trace`: run-trace waterfall alongside the
+    original workload-trace file modes."""
+
+    def _doc(self):
+        from repro.telemetry.tracing import Span, stitch_chrome_trace
+
+        spans = [
+            Span(name="queue.wait", trace_id="ab" * 8, start=5.0, duration=0.01),
+            Span(name="execute", trace_id="ab" * 8, start=5.01, duration=0.2),
+        ]
+        return stitch_chrome_trace(spans, label="Water/PREF@4c")
+
+    def test_load_renders_waterfall(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps(self._doc()), encoding="utf-8")
+        assert main(["trace", "--load", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "trace " + "ab" * 8 in out
+        assert "queue.wait" in out and "execute" in out
+        assert "breakdown:" in out
+
+    def test_fetch_unreachable_service_is_clean_error(self, capsys):
+        code = main(["trace", "deadbeefdeadbeef", "--url", "http://127.0.0.1:9"])
+        assert code == 1
+        assert "repro serve --trace" in capsys.readouterr().err
+
+    def test_no_arguments_is_usage_error(self, capsys):
+        assert main(["trace"]) == 2
+        assert "RUN_ID" in capsys.readouterr().err
+
+    def test_workload_mode_still_works(self, tmp_path, capsys):
+        out_file = tmp_path / "water.gz"
+        args = ["trace", "--workload", "Water", "--out", str(out_file), *SMALL]
+        assert main(args) == 0
+        assert out_file.exists()
+        assert main(["trace", "--info", str(out_file)]) == 0
+        assert "demand refs" in capsys.readouterr().out
+
+    def test_fleet_trace_json_carries_trace_ids(self, tmp_path, capsys):
+        import json
+
+        args = [
+            "fleet", "--workloads", "Water", "--strategies", "NP",
+            "--latencies", "4", "--cpus", "2", "--scale", "0.02",
+            "--json", "--trace",
+            "--cache", str(tmp_path / "cache"),
+            "--ledger-dir", str(tmp_path / "ledger"),
+        ]
+        assert main(args) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert list(doc["trace_ids"]) == ["Water/NP@4c"]
+        assert doc["spans_recorded"] == 2  # worker.run + engine.simulate
+        # The ledger line for the run carries the same trace id.
+        from repro.telemetry.ledger import RunLedger
+
+        (entry,) = RunLedger(tmp_path / "ledger").entries()
+        assert entry.trace_id == doc["trace_ids"]["Water/NP@4c"]
+
+
 class TestAdaptCli:
     def test_simulate_adapt(self, capsys):
         args = ["simulate", "--workload", "Water", "--strategy", "ADAPT", *SMALL]

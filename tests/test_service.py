@@ -215,6 +215,38 @@ class TestStores:
 
 
 class TestMixedSchemaLedger:
+    def test_trace_id_mixed_schema_round_trip(self, tmp_path):
+        """Pre-tracing lines (no trace_id) and traced lines coexist.
+
+        Readers must yield both, with trace_id None on old records; and
+        an untraced entry must serialize WITHOUT the key at all, so
+        ledgers written by an untraced fleet stay byte-identical to
+        pre-tracing ones.
+        """
+        spec = ScenarioSpec(**QUICK)
+        fields = dict(
+            config_key=spec.config_key,
+            workload=spec.workload,
+            restructured=False,
+            strategy=spec.strategy,
+            machine=spec.machine().describe(),
+            num_cpus=spec.num_cpus,
+            seed=spec.seed,
+            scale=spec.scale,
+            engine_version="2",
+        )
+        untraced = LedgerEntry(**fields)
+        traced = LedgerEntry(**fields, trace_id="ab" * 8)
+        assert "trace_id" not in untraced.to_dict()
+        assert traced.to_dict()["trace_id"] == "ab" * 8
+        ledger = RunLedger(tmp_path)
+        ledger.append(untraced)
+        ledger.append(traced)
+        loaded = list(ledger.entries())
+        assert [e.trace_id for e in loaded] == [None, "ab" * 8]
+        # Hydration tolerates the mix too.
+        assert LedgerRunStore(ledger).hydrated >= 1
+
     def test_entries_skip_records_missing_config_key(self, tmp_path):
         """Pre-content-key lines must be skipped, never raise."""
         spec = ScenarioSpec(**QUICK)
@@ -371,6 +403,26 @@ class TestScheduler:
 # --------------------------------------------------------------------------
 
 
+def _http_full(method: str, url: str, body: dict | None = None):
+    """Like _http but also returns the response headers."""
+    data = json.dumps(body).encode() if body is not None else None
+    req = urllib.request.Request(url, data=data, method=method)
+    if data is not None:
+        req.add_header("Content-Type", "application/json")
+    try:
+        with urllib.request.urlopen(req, timeout=30) as resp:
+            raw = resp.read().decode()
+            status, headers = resp.status, dict(resp.headers.items())
+            ctype = resp.headers.get("Content-Type", "")
+    except urllib.error.HTTPError as exc:
+        raw = exc.read().decode()
+        status, headers = exc.code, dict(exc.headers.items())
+        ctype = exc.headers.get("Content-Type", "")
+    if ctype.startswith("application/json"):
+        return status, headers, json.loads(raw)
+    return status, headers, raw
+
+
 def _http(method: str, url: str, body: dict | None = None):
     data = json.dumps(body).encode() if body is not None else None
     req = urllib.request.Request(url, data=data, method=method)
@@ -486,6 +538,188 @@ class TestHttpApi:
         svc, base = service
         status, doc = _http("GET", f"{base}/nope")
         assert status == 404
+
+
+# --------------------------------------------------------------------------
+# Tracing over HTTP (tentpole) + graceful shutdown (satellite)
+# --------------------------------------------------------------------------
+
+
+def _poll_completed(base: str, run_id: str, budget: int = 150) -> dict:
+    import time
+
+    while True:
+        status, doc = _http("GET", f"{base}/runs/{run_id}")
+        assert status == 200
+        if doc["status"] in ("completed", "failed"):
+            return doc
+        budget -= 1
+        assert budget > 0, "run did not finish"
+        time.sleep(0.2)
+
+
+@pytest.fixture(scope="class")
+def traced_service(tmp_path_factory):
+    root = tmp_path_factory.mktemp("traced")
+    config = ServiceConfig(
+        host="127.0.0.1",
+        port=0,
+        cache_dir=str(root / "cache"),
+        ledger_path=str(root / "ledger" / "runs.jsonl"),
+        trace=True,
+    )
+    svc, base, stop = serve_in_thread(config)
+    try:
+        yield svc, base, root
+    finally:
+        stop()
+
+
+class TestTracedHttpApi:
+    def test_single_run_one_causal_timeline(self, traced_service):
+        svc, base, root = traced_service
+        spec_body = dict(QUICK, strategy="PREF")
+
+        status, headers, doc = _http_full("POST", f"{base}/runs", spec_body)
+        assert status == 202
+        trace_id = headers.get("X-Repro-Trace-Id")
+        assert trace_id and len(trace_id) == 16
+        # A single-point POST's run adopts the request trace: the run's
+        # timeline reaches all the way back to HTTP parse.
+        assert doc["runs"][0]["trace_id"] == trace_id
+        run_id = doc["run_id"]
+
+        run_doc = _poll_completed(base, run_id)
+        assert run_doc["status"] == "completed"
+        assert run_doc["trace_id"] == trace_id
+
+        status, trace_doc = _http("GET", f"{base}/runs/{run_id}/trace")
+        assert status == 200
+        other = trace_doc["otherData"]
+        assert other["trace_id"] == trace_id
+        assert other["run_id"] == run_id
+        assert other["timestamp_unit"] == "microseconds"
+        service_spans = {
+            e["name"]: e
+            for e in trace_doc["traceEvents"]
+            if e.get("cat") == "service" and e["ph"] == "X"
+        }
+        assert {
+            "request.parse", "request.validate", "submit", "queue.wait",
+            "batch.assemble", "execute", "executor.dispatch", "worker.run",
+            "engine.simulate",
+        } <= set(service_spans)
+        # Engine events are stitched in under the run's window.
+        engine_pids = {
+            e["pid"] for e in trace_doc["traceEvents"] if e.get("pid", 10) < 10
+        }
+        assert 0 in engine_pids  # cpu track
+        assert other["engine"]["exec_cycles"] > 0
+        assert other["engine"]["anchor"] == "engine.simulate"
+
+        # Reconciliation: the ledger's wall time and the /metrics stage
+        # histogram agree with the spans (same measurements, same hook).
+        ledger = RunLedger(root / "ledger")
+        entry = next(
+            e for e in ledger.entries()
+            if e.config_key == run_doc["config_key"] and e.outcome == "ok"
+        )
+        assert entry.trace_id == trace_id
+        worker_s = service_spans["worker.run"]["dur"] / 1e6
+        assert abs(worker_s - entry.wall_seconds) < 1.0
+        status, metrics_text = _http("GET", f"{base}/metrics")
+        assert status == 200
+        assert "repro_service_stage_seconds" in metrics_text
+        assert "repro_service_request_seconds" in metrics_text
+        for line in metrics_text.splitlines():
+            if line.startswith('repro_service_stage_seconds_sum{stage="worker.run"}'):
+                assert abs(float(line.rpartition(" ")[2]) - worker_s) < 1.0
+                break
+        else:
+            pytest.fail("no worker.run stage histogram in /metrics")
+
+    def test_engine_can_be_excluded(self, traced_service):
+        svc, base, _root = traced_service
+        spec_body = dict(QUICK, strategy="PREF")
+        status, _, doc = _http_full("POST", f"{base}/runs", spec_body)
+        run_id = doc["run_id"]
+        _poll_completed(base, run_id)
+        status, trace_doc = _http("GET", f"{base}/runs/{run_id}/trace?engine=0")
+        assert status == 200
+        assert all(e.get("pid", 10) >= 10 for e in trace_doc["traceEvents"])
+        assert "engine" not in trace_doc["otherData"]
+
+    def test_sweep_points_get_fresh_traces(self, traced_service):
+        svc, base, _root = traced_service
+        sweep = {"sweep": dict(QUICK, strategy=["NP", "PREF"])}
+        status, headers, doc = _http_full("POST", f"{base}/runs", sweep)
+        assert status == 202
+        request_trace = headers.get("X-Repro-Trace-Id")
+        assert request_trace
+        per_run = [r["trace_id"] for r in doc["runs"]]
+        assert all(per_run)
+        assert len(set(per_run)) == 2
+        assert request_trace not in per_run
+
+    def test_trace_unknown_run_is_404(self, traced_service):
+        svc, base, _root = traced_service
+        status, doc = _http("GET", f"{base}/runs/{'0' * 16}/trace")
+        assert status == 404
+
+
+class TestUntracedService:
+    def test_untraced_responses_carry_no_trace_surface(self, service):
+        """With tracing off the contract is byte-identical to pre-PR."""
+        svc, base = service
+        spec_body = dict(QUICK, strategy="NP")
+        status, headers, doc = _http_full("POST", f"{base}/runs", spec_body)
+        assert status == 202
+        assert "X-Repro-Trace-Id" not in headers
+        assert "trace_id" not in doc["runs"][0]
+        run_doc = _poll_completed(base, doc["run_id"])
+        assert "trace_id" not in run_doc
+        # /trace is a 409 (known run, tracing off), not a 404/500.
+        status, err = _http("GET", f"{base}/runs/{doc['run_id']}/trace")
+        assert status == 409
+        assert "--trace" in err["error"]
+        status, metrics_text = _http("GET", f"{base}/metrics")
+        assert "repro_service_stage_seconds" not in metrics_text
+        # The request-latency histogram is independent of tracing.
+        assert "repro_service_request_seconds" in metrics_text
+
+
+class TestGracefulShutdown:
+    def test_shutdown_drains_then_refuses(self, tmp_path):
+        config = ServiceConfig(
+            host="127.0.0.1", port=0, cache_dir=str(tmp_path / "cache"),
+            ledger_path=None, drain_timeout=60.0,
+        )
+        svc, base, stop = serve_in_thread(config)
+        try:
+            status, doc = _http("POST", f"{base}/runs", dict(QUICK, strategy="PREF"))
+            assert status == 202
+            run_id = doc["run_id"]
+            future = asyncio.run_coroutine_threadsafe(svc.shutdown(), svc.loop)
+            assert future.result(timeout=90) is True  # drained
+            # The in-flight run finished before the listener died.
+            assert svc.store.get(run_id).status.value == "completed"
+            with pytest.raises((urllib.error.URLError, ConnectionError)):
+                _http("GET", f"{base}/healthz")
+        finally:
+            stop()
+
+    def test_shutdown_is_idempotent(self, tmp_path):
+        config = ServiceConfig(
+            host="127.0.0.1", port=0, cache_dir=None, ledger_path=None
+        )
+        svc, base, stop = serve_in_thread(config)
+        try:
+            first = asyncio.run_coroutine_threadsafe(svc.shutdown(), svc.loop)
+            assert first.result(timeout=30) is True
+            second = asyncio.run_coroutine_threadsafe(svc.shutdown(), svc.loop)
+            assert second.result(timeout=30) is True
+        finally:
+            stop()
 
 
 # --------------------------------------------------------------------------

@@ -749,6 +749,56 @@ class TestTelemetryCli:
 # ------------------------------------------------------------- satellites
 
 
+class TestMonitorHook:
+    """Direct unit tests for ``TelemetryConfig.monitor_hook``."""
+
+    _machine = MachineConfig(num_cpus=2)
+    _jobs = [("Water", PREF, _machine)]
+
+    def test_hook_sees_live_monitor_before_jobs_run(self):
+        seen: list = []
+
+        def hook(monitor):
+            assert isinstance(monitor, FleetMonitor)
+            # Called right after construction, before any job finishes:
+            # every job is still visible and none is done.
+            assert not monitor.done
+            assert {p.label for p in monitor.jobs.values()} == {"Water/PREF@8c"}
+            seen.append(monitor)
+
+        runner = ExperimentRunner(num_cpus=2, scale=0.02)
+        runner.run_many(self._jobs, telemetry=TelemetryConfig(monitor_hook=hook))
+        assert len(seen) == 1
+        # ... and by batch end the same monitor saw the job complete.
+        assert seen[0].done == {0}
+
+    def test_hook_exception_never_fails_the_batch(self):
+        def hook(monitor):
+            raise RuntimeError("observability exploded")
+
+        runner = ExperimentRunner(num_cpus=2, scale=0.02)
+        (result,) = runner.run_many(
+            self._jobs, telemetry=TelemetryConfig(monitor_hook=hook)
+        )
+        assert result.exec_cycles > 0
+
+    def test_hook_fires_once_per_batch(self):
+        calls: list[int] = []
+        telemetry = TelemetryConfig(monitor_hook=lambda m: calls.append(1))
+        runner = ExperimentRunner(num_cpus=2, scale=0.02)
+        runner.run_many(self._jobs, telemetry=telemetry)
+        runner2 = ExperimentRunner(num_cpus=2, scale=0.02)
+        runner2.run_many(self._jobs, telemetry=telemetry)
+        assert len(calls) == 2
+
+    def test_default_is_none_and_inert(self):
+        telemetry = TelemetryConfig()
+        assert telemetry.monitor_hook is None
+        runner = ExperimentRunner(num_cpus=2, scale=0.02)
+        (result,) = runner.run_many(self._jobs, telemetry=telemetry)
+        assert result.exec_cycles > 0
+
+
 class TestSatellites:
     def test_progress_bar(self):
         assert progress_bar(0, 10, width=4) == "[····]"
