@@ -28,7 +28,15 @@ Commands:
 * ``serve`` -- simulation-as-a-service HTTP front door: submit
   scenario specs or sweep grids, poll run status, fetch results and
   c2c reports by run id, scrape Prometheus metrics -- duplicate
-  submissions dedup by content key onto one simulation;
+  submissions dedup by content key onto one simulation; with the
+  time-series store on (default), it also snapshots metrics, evaluates
+  SLO rules continuously, and serves ``/metrics/history``, ``/slo``
+  and an HTML ``/dashboard``;
+* ``slo`` -- one-shot SLO evaluation over the time-series store
+  (``repro slo check``), nonzero exit on breach: the CI regression
+  sentinel;
+* ``dash`` -- terminal dashboard: key series sparklines, SLO status
+  and recent ledger runs from the same store the service snapshots;
 * ``list`` -- available workloads, strategies and experiments.
 
 Examples::
@@ -43,6 +51,9 @@ Examples::
     python -m repro drift --quick
     python -m repro ledger --tail 5
     python -m repro cache --prune
+    python -m repro bench --history
+    python -m repro slo check --snapshot
+    python -m repro dash --seconds 7200
 """
 
 from __future__ import annotations
@@ -618,6 +629,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         update_report,
     )
 
+    if args.history:
+        return _bench_history(args)
     result = run_microbench(
         workload=args.workload,
         num_cpus=args.cpus,
@@ -668,6 +681,59 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(f"note: {note}")
     _print_trend(*append_history(result, args.file, quick=args.quick))
     return 0 if ok else 1
+
+
+def _bench_history(args: argparse.Namespace) -> int:
+    """``repro bench --history``: the trajectory the report has been
+    silently accumulating, as a trend table + sparkline; optionally
+    replayed into the time-series store for the dashboard."""
+    from repro.metrics.charts import sparkline
+    from repro.perf.bench import load_report
+
+    report = load_report(args.file)
+    history = [
+        entry
+        for entry in ((report or {}).get("history") or [])
+        if isinstance(entry, dict) and entry.get("events_per_sec")
+    ]
+    if not history:
+        print(f"{args.file}: no bench history recorded yet (run `repro bench` to append)")
+        return 0
+    print(f"{args.file}: {len(history)} history entries")
+    print(f"{'timestamp':<26} {'workload':<12} {'cal':<6} {'eng':<4} {'events/sec':>12} {'Δ':>8}")
+    prev_by_key: dict = {}
+    for entry in history:
+        key = (
+            entry.get("workload"),
+            entry.get("num_cpus"),
+            entry.get("scale"),
+            bool(entry.get("quick")),
+            entry.get("engine_version"),
+        )
+        eps = float(entry["events_per_sec"])
+        prev = prev_by_key.get(key)
+        delta = f"{eps / prev - 1.0:+.1%}" if prev else "-"
+        prev_by_key[key] = eps
+        print(
+            f"{str(entry.get('timestamp', '?')):<26} "
+            f"{str(entry.get('workload', '?')):<12} "
+            f"{'quick' if entry.get('quick') else 'full':<6} "
+            f"{str(entry.get('engine_version', '?')):<4} "
+            f"{eps:>12,.0f} {delta:>8}"
+        )
+    values = [float(entry["events_per_sec"]) for entry in history]
+    print(f"trend: {sparkline(values, width=min(60, max(8, len(values))))} "
+          f"({min(values):,.0f} .. {max(values):,.0f} events/sec)")
+    if args.tsdb:
+        from repro.telemetry.timeseries import TimeSeriesStore, seed_bench_history
+
+        store = TimeSeriesStore(args.tsdb)
+        seeded = seed_bench_history(store, report)
+        print(
+            f"{args.tsdb}: seeded {seeded} new snapshot(s) "
+            f"(repro_bench_events_per_sec series)"
+        )
+    return 0
 
 
 def _print_trend(previous: dict | None, entry: dict) -> None:
@@ -978,6 +1044,19 @@ def _cmd_ledger(args: argparse.Namespace) -> int:
         f"{summary['mean_events_per_sec']:.0f} events/s), "
         f"{summary['cache_hits']} cache hits"
     )
+    if summary["simulated_runs"]:
+        print(
+            f"wall time per simulated run: p50 {summary['wall_p50']:.3f}s, "
+            f"p95 {summary['wall_p95']:.3f}s"
+        )
+    if summary["strategies"]:
+        print("per-strategy throughput (simulated runs, cache hits excluded):")
+        for name, stats in summary["strategies"].items():
+            print(
+                f"  {name:<8} {stats['runs']:>4} runs  "
+                f"{stats['wall_seconds']:>8.1f}s wall  "
+                f"{stats['events_per_sec']:>12,.0f} events/sec"
+            )
     entries = ledger.query(
         workload=args.workload and _resolve_workload(args.workload),
         strategy=args.strategy,
@@ -1020,10 +1099,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_batch=args.max_batch,
         trace=args.trace,
         drain_timeout=args.drain_timeout,
+        tsdb_dir=args.tsdb or None,
+        snapshot_interval=args.snapshot_interval,
+        slo_rules=args.slo_rules,
     )
     print(
         f"repro service on http://{config.host}:{config.port} "
         f"(cache: {config.cache_dir or 'off'}, ledger: {config.ledger_path or 'off'}, "
+        f"tsdb: {config.tsdb_dir or 'off'}, "
         f"{config.max_workers or 1} sim worker(s), "
         f"tracing {'on' if config.trace else 'off'}) -- Ctrl-C to stop"
     )
@@ -1031,7 +1114,99 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         "  POST /runs  GET /runs  GET /runs/{id}  GET /runs/{id}/result  "
         "GET /runs/{id}/trace  GET /metrics"
     )
+    if config.tsdb_dir is not None:
+        print("  GET /metrics/history  GET /slo  GET /dashboard")
     serve(config)
+    return 0
+
+
+def _cmd_slo(args: argparse.Namespace) -> int:
+    import json as json_module
+    from pathlib import Path
+
+    from repro.perf.bench import load_report
+    from repro.telemetry.slo import default_rules, evaluate_slo, load_rules
+    from repro.telemetry.timeseries import TimeSeriesStore, seed_bench_history
+
+    store = TimeSeriesStore(args.tsdb)
+    bench = load_report(args.bench_file)
+    rules = load_rules(args.rules) if args.rules else default_rules(bench)
+    if args.snapshot:
+        # A fresh ledger-derived + bench snapshot lets the sentinel run
+        # against batch fleets (fleet/drift) that never started a
+        # service -- the ledger is the source of truth either way.
+        from repro.telemetry.ledger import RunLedger
+
+        seeded = seed_bench_history(store, bench)
+        store.append_snapshot(ledger=RunLedger(args.ledger_dir), source="slo-check")
+        print(
+            f"{args.tsdb}: appended 1 ledger snapshot"
+            + (f", seeded {seeded} bench snapshot(s)" if seeded else "")
+        )
+    report = evaluate_slo(store, rules)
+    print(report.render())
+    if args.json:
+        path = Path(args.json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        doc = report.to_dict()
+        doc["rules"] = [rule.to_dict() for rule in rules]
+        path.write_text(
+            json_module.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        print(f"wrote {args.json}")
+    return 0 if report.ok else 1
+
+
+def _cmd_dash(args: argparse.Namespace) -> int:
+    from repro.metrics.charts import sparkline
+    from repro.perf.bench import load_report
+    from repro.service.dashboard import build_dashboard_doc
+    from repro.telemetry.ledger import RunLedger
+    from repro.telemetry.slo import default_rules, evaluate_slo, load_rules
+    from repro.telemetry.timeseries import TimeSeriesStore
+
+    store = TimeSeriesStore(args.tsdb)
+    if store.last_snapshot() is None:
+        print(
+            f"{args.tsdb}: no snapshots yet -- run `repro serve`, "
+            "`repro slo check --snapshot` or `repro bench --history` first"
+        )
+        return 0
+    rules = (
+        load_rules(args.rules) if args.rules else default_rules(load_report(args.bench_file))
+    )
+    report = evaluate_slo(store, rules)
+    doc = build_dashboard_doc(store, slo_report=report.to_dict(), seconds=args.seconds)
+    tsdb_info = doc["tsdb"]
+    print(
+        f"repro dash -- {tsdb_info['root']}: {tsdb_info['snapshots']} snapshots in "
+        f"{tsdb_info['segments']} segment(s), trailing {args.seconds:g}s window"
+    )
+    print()
+    for series in doc["series"]:
+        spark = sparkline(series["values"], width=args.width)
+        print(
+            f"{series['title']:<36} {spark}  "
+            f"{series['current']:>12,.1f} (min {series['min']:,.1f}, "
+            f"max {series['max']:,.1f})"
+        )
+    if not doc["series"]:
+        print("(no key series snapshotted yet)")
+    print()
+    print(report.render())
+    ledger = RunLedger(args.ledger_dir)
+    recent = ledger.tail(args.tail)
+    if recent:
+        print()
+        print(f"recent runs ({ledger.path}):")
+        for entry in recent:
+            line = (
+                f"  {entry.timestamp}  {entry.workload}/{entry.strategy}  "
+                f"[{entry.outcome}/{entry.cache}]"
+            )
+            if entry.trace_id:
+                line += f"  trace={entry.trace_id}"
+            print(line)
     return 0
 
 
@@ -1128,6 +1303,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cpus", type=int, default=12, help="processor count (default 12)")
     p.add_argument("--scale", type=float, default=1.0, help="workload scale (default 1.0)")
     p.add_argument("--seed", type=int, default=42, help="workload seed (default 42)")
+    p.add_argument(
+        "--history", action="store_true",
+        help="print the report's history as a trend table + sparkline "
+        "(no measurement run) and seed the time-series store from it",
+    )
+    from repro.telemetry.timeseries import DEFAULT_TSDB_DIR
+
+    p.add_argument(
+        "--tsdb", default=DEFAULT_TSDB_DIR,
+        help=f"time-series store for --history seeding ('' disables; default {DEFAULT_TSDB_DIR})",
+    )
     p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser(
@@ -1323,7 +1509,78 @@ def build_parser() -> argparse.ArgumentParser:
         "--drain-timeout", type=float, default=30.0,
         help="seconds to wait for in-flight runs on shutdown (default 30)",
     )
+    p.add_argument(
+        "--tsdb", default=DEFAULT_TSDB_DIR,
+        help="time-series snapshot directory ('' disables snapshots, SLO "
+        f"evaluation and /dashboard; default {DEFAULT_TSDB_DIR})",
+    )
+    p.add_argument(
+        "--snapshot-interval", type=float, default=15.0,
+        help="seconds between registry snapshots / SLO evaluations (default 15)",
+    )
+    p.add_argument(
+        "--slo-rules",
+        help="SLO rules file (.toml [[slo]] tables or JSON; default: built-in rules)",
+    )
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "slo", help="evaluate SLO rules over the time-series store (CI sentinel)"
+    )
+    p.add_argument(
+        "action", choices=("check",),
+        help="'check': one-shot evaluation; exits nonzero on any breach",
+    )
+    p.add_argument(
+        "--tsdb", default=DEFAULT_TSDB_DIR,
+        help=f"time-series store directory (default {DEFAULT_TSDB_DIR})",
+    )
+    p.add_argument(
+        "--rules",
+        help="SLO rules file (.toml [[slo]] tables or JSON; default: built-in rules)",
+    )
+    p.add_argument(
+        "--snapshot", action="store_true",
+        help="append a fresh ledger-derived + bench snapshot before evaluating "
+        "(lets the sentinel gate batch fleets with no service running)",
+    )
+    p.add_argument(
+        "--ledger-dir", default="results/service/ledger",
+        help="run-ledger directory for --snapshot (default results/service/ledger)",
+    )
+    p.add_argument(
+        "--bench-file", default=DEFAULT_REPORT,
+        help=f"bench report feeding default rules and --snapshot seeding (default {DEFAULT_REPORT})",
+    )
+    p.add_argument("--json", help="write the evaluation report JSON here")
+    p.set_defaults(func=_cmd_slo)
+
+    p = sub.add_parser(
+        "dash", help="terminal dashboard: key series sparklines + SLO + recent runs"
+    )
+    p.add_argument(
+        "--tsdb", default=DEFAULT_TSDB_DIR,
+        help=f"time-series store directory (default {DEFAULT_TSDB_DIR})",
+    )
+    p.add_argument(
+        "--seconds", type=float, default=3600.0,
+        help="trailing window to chart (default 3600)",
+    )
+    p.add_argument(
+        "--rules",
+        help="SLO rules file (.toml [[slo]] tables or JSON; default: built-in rules)",
+    )
+    p.add_argument(
+        "--bench-file", default=DEFAULT_REPORT,
+        help=f"bench report feeding default rules (default {DEFAULT_REPORT})",
+    )
+    p.add_argument(
+        "--ledger-dir", default="results/service/ledger",
+        help="run ledger for the recent-runs list (default results/service/ledger)",
+    )
+    p.add_argument("--width", type=int, default=48, help="sparkline width (default 48)")
+    p.add_argument("--tail", type=int, default=8, help="recent runs to list (default 8)")
+    p.set_defaults(func=_cmd_dash)
 
     p = sub.add_parser("list", help="available workloads/strategies/experiments")
     p.set_defaults(func=_cmd_list)

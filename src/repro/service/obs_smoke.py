@@ -1,0 +1,361 @@
+"""Continuous-observability smoke: snapshots, SLOs and the dashboard, in CI.
+
+``python -m repro.service.obs_smoke --out results/obs_smoke``
+
+Boots a real ``repro serve --trace`` subprocess with a 1-second snapshot
+interval and a time-series store, then verifies the observability
+contract the docs promise:
+
+1. submit a small sweep (NP + PREF) and poll it to completion;
+2. wait for the sampler to land snapshots, then check the
+   ``/metrics/history`` index and a named counter series (monotone
+   restart-corrected view);
+3. fetch ``/slo`` and require the serve-loop evaluator's ``repro_slo_ok``
+   gauge in the scrape;
+4. fetch ``/dashboard`` (HTTP 200, ``text/html``) and schema-check the
+   embedded machine-readable JSON document;
+5. take a final ``/metrics`` scrape, SIGTERM the server, and reconcile
+   the shutdown flush snapshot against that scrape: every counter and
+   gauge sample matches exactly, except the scrape's own request which
+   by construction lands only in the flush (+1 on its request counter
+   and latency-histogram count).  Ledger-derived families reconcile
+   against the ledger itself;
+6. run the ``repro slo check`` regression sentinel twice against the
+   recorded store: a healthy rules file must exit 0, a synthetic
+   impossible objective must exit nonzero and print the breach.
+
+The transcript, the dashboard HTML and the TSDB segments are written to
+the output directory as CI artifacts; a red run is diagnosable from the
+artifacts alone.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+from pathlib import Path
+from typing import Any
+
+from repro.service.smoke import (
+    SmokeFailure,
+    Transcript,
+    _free_port,
+    _poll_runs,
+    _request,
+    _require,
+    _wait_ready,
+)
+
+#: The sweep submitted: two strategies on one tiny-but-real frame.
+SWEEP = {
+    "sweep": {
+        "workload": "Water",
+        "strategy": ["NP", "PREF"],
+        "num_cpus": 4,
+        "scale": 0.05,
+        "transfer_cycles": 8,
+    }
+}
+
+#: Keys the embedded dashboard JSON document must carry.
+DASHBOARD_SCHEMA = {
+    "schema", "generated_at", "window_seconds", "tsdb", "series", "slo",
+    "recent_runs", "service",
+}
+
+#: A healthy rules file: satisfied by any completed smoke sweep.
+HEALTHY_RULES = """\
+[[slo]]
+name = "runs-ledgered"
+series = "repro_ledger_entries"
+op = ">="
+threshold = 1.0
+description = "the sweep left ledger entries behind"
+
+[[slo]]
+name = "request-latency-p95"
+series = "repro_service_request_seconds"
+aggregate = "p95"
+op = "<="
+threshold = 60.0
+description = "far above any healthy request"
+"""
+
+#: A deliberately impossible objective: the regression sentinel must trip.
+IMPOSSIBLE_RULES = """\
+[[slo]]
+name = "impossible-run-count"
+series = "repro_ledger_entries"
+op = ">="
+threshold = 1000000.0
+on_missing = "breach"
+description = "synthetic breach: a million ledgered runs"
+"""
+
+
+def _wait_snapshots(
+    transcript: Transcript, base: str, minimum: int, timeout: float = 45.0
+) -> dict[str, Any]:
+    """Poll /metrics/history until the sampler has landed ``minimum`` lines."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        _, index = _request(transcript, "GET", f"{base}/metrics/history")
+        if index["snapshots"] >= minimum:
+            return index
+        time.sleep(0.5)
+    raise SmokeFailure(f"fewer than {minimum} snapshots within {timeout}s")
+
+
+def _scrape_values(metrics_text: str) -> dict[str, float]:
+    """Every ``name{labels} value`` exposition line, keyed by the left side."""
+    values: dict[str, float] = {}
+    for line in metrics_text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        key, _, value = line.rpartition(" ")
+        try:
+            values[key] = float(value)
+        except ValueError:
+            continue
+    return values
+
+
+def _sample_key(name: str, labels: dict[str, str]) -> str:
+    """The exposition line key for a snapshot sample (declaration-ordered
+    labels survive the JSON round trip)."""
+    if not labels:
+        return name
+    inner = ",".join(f'{k}="{v}"' for k, v in labels.items())
+    return f"{name}{{{inner}}}"
+
+
+def _reconcile_flush(
+    transcript: Transcript,
+    flush: dict[str, Any],
+    scraped: dict[str, float],
+    ledger_dir: str,
+) -> int:
+    """Every counter/gauge sample in the flush snapshot against the final
+    scrape; returns the number of samples compared."""
+    from repro.telemetry.ledger import RunLedger
+
+    scrape_counter = _sample_key(
+        "repro_service_requests_total",
+        {"method": "GET", "route": "/metrics", "status": "200"},
+    )
+    compared = 0
+    for name, family in sorted(flush["families"].items()):
+        kind = family.get("type")
+        if name.startswith("repro_ledger_"):
+            continue  # synthetic: reconciled against the ledger below
+        for sample in family["samples"]:
+            if kind == "histogram":
+                key = _sample_key(f"{name}_count", sample["labels"])
+                flushed = float(sample["count"])
+            else:
+                key = _sample_key(name, sample["labels"])
+                flushed = float(sample["value"])
+            expected = scraped.get(key)
+            if expected is None:
+                # The flush may carry series the scrape predates (none
+                # today); missing the other way is the real failure.
+                raise SmokeFailure(f"flush sample {key} absent from final scrape")
+            if key == scrape_counter or (
+                kind == "histogram"
+                and key.startswith("repro_service_request_seconds_count")
+                and sample["labels"].get("route") == "/metrics"
+            ):
+                expected += 1.0  # the final scrape's own request
+            _require(
+                flushed == expected,
+                f"flush/scrape mismatch for {key}: {flushed} != {expected}",
+            )
+            compared += 1
+    _require(compared > 0, "flush snapshot carried no reconcilable samples")
+
+    summary = RunLedger(ledger_dir).summarize()
+    families = flush["families"]
+    _require(
+        families["repro_ledger_entries"]["samples"][0]["value"] == summary["entries"],
+        "repro_ledger_entries does not match the ledger",
+    )
+    _require(
+        families["repro_ledger_simulated_runs"]["samples"][0]["value"]
+        == summary["simulated_runs"],
+        "repro_ledger_simulated_runs does not match the ledger",
+    )
+    transcript.record(
+        "reconciled", samples_compared=compared,
+        ledger_entries=summary["entries"],
+        simulated_runs=summary["simulated_runs"],
+    )
+    return compared
+
+
+def _sentinel(
+    transcript: Transcript, env: dict[str, str], tsdb_dir: str,
+    rules_path: Path, expect_code: int,
+) -> None:
+    """One `repro slo check` subprocess; exit code must match."""
+    cmd = [
+        sys.executable, "-m", "repro", "slo", "check",
+        "--tsdb", tsdb_dir, "--rules", str(rules_path),
+    ]
+    proc = subprocess.run(cmd, env=env, capture_output=True, text=True, timeout=120)
+    transcript.record(
+        "sentinel", cmd=cmd, exit_code=proc.returncode,
+        stdout=proc.stdout[-4000:], stderr=proc.stderr[-2000:],
+    )
+    _require(
+        proc.returncode == expect_code,
+        f"slo check with {rules_path.name}: exit {proc.returncode}, "
+        f"wanted {expect_code}: {proc.stdout}",
+    )
+    if expect_code != 0:
+        _require("BREACHED" in proc.stdout, f"no breach banner: {proc.stdout}")
+
+
+def run_obs_smoke(out_dir: str) -> int:
+    transcript = Transcript()
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    port = _free_port()
+    base = f"http://127.0.0.1:{port}"
+    tsdb_dir = str(out / "tsdb")
+    ledger_dir = str(out / "ledger")
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[2])
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    healthy = out / "healthy.toml"
+    healthy.write_text(HEALTHY_RULES, encoding="utf-8")
+    impossible = out / "impossible.toml"
+    impossible.write_text(IMPOSSIBLE_RULES, encoding="utf-8")
+    cmd = [
+        sys.executable, "-m", "repro", "serve",
+        "--host", "127.0.0.1", "--port", str(port),
+        "--cache", str(out / "cache"), "--ledger-dir", ledger_dir,
+        "--trace", "--drain-timeout", "60",
+        "--tsdb", tsdb_dir, "--snapshot-interval", "1",
+        "--slo-rules", str(healthy),
+    ]
+    transcript.record("spawn", cmd=cmd)
+    proc = subprocess.Popen(
+        cmd, env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True
+    )
+    ok = False
+    try:
+        _wait_ready(transcript, base, proc)
+
+        # 1. A small sweep, polled to completion.
+        _, submit = _request(transcript, "POST", f"{base}/runs", SWEEP, expect=202)
+        run_ids = [ref["run_id"] for ref in submit["runs"]]
+        _require(len(run_ids) == 2, f"sweep expanded to {len(run_ids)} runs")
+        final = _poll_runs(transcript, base, run_ids)
+        _require(
+            all(doc["status"] == "completed" for doc in final.values()),
+            f"sweep failures: { {k: v['status'] for k, v in final.items()} }",
+        )
+
+        # 2. The sampler lands snapshots; history routes serve them.
+        index = _wait_snapshots(transcript, base, minimum=2)
+        _require(
+            "repro_service_requests_total" in index["series"],
+            "request counter missing from the history index",
+        )
+        _require(
+            "repro_ledger_entries" in index["series"],
+            "ledger families missing from the history index",
+        )
+        _, series = _request(
+            transcript, "GET",
+            f"{base}/metrics/history?name=repro_service_requests_total",
+        )
+        cumulative = [value for _ts, value in series["cumulative"]]
+        _require(
+            cumulative == sorted(cumulative) and cumulative[-1] > 0,
+            f"counter history not monotone: {cumulative}",
+        )
+
+        # 3. SLO evaluation: route + the serve-loop evaluator's gauge.
+        _, slo_doc = _request(transcript, "GET", f"{base}/slo")
+        _require(slo_doc["ok"] is True, f"healthy rules breached: {slo_doc}")
+        rule_names = {r["name"] for r in slo_doc["rules"]}
+        _require(
+            {"runs-ledgered", "request-latency-p95"} <= rule_names,
+            f"--slo-rules file not loaded: {sorted(rule_names)}",
+        )
+
+        # 4. The dashboard renders and embeds a schema-checked document.
+        _, html_text = _request(transcript, "GET", f"{base}/dashboard")
+        _require(isinstance(html_text, str) and "<html" in html_text,
+                 "dashboard did not return HTML")
+        marker = 'id="dashboard-data">'
+        _require(marker in html_text, "dashboard missing embedded JSON")
+        start = html_text.index(marker) + len(marker)
+        doc = json.loads(html_text[start:html_text.index("</script>", start)])
+        missing = DASHBOARD_SCHEMA - set(doc)
+        _require(not missing, f"dashboard document missing keys: {sorted(missing)}")
+        _require(doc["tsdb"]["snapshots"] >= 2, f"dashboard tsdb: {doc['tsdb']}")
+        _require(len(doc["recent_runs"]) == 2, f"recent runs: {doc['recent_runs']}")
+        (out / "dashboard.html").write_text(html_text, encoding="utf-8")
+
+        # 5. Final scrape, graceful SIGTERM, flush reconciliation.  The
+        # warm-up scrape puts the /metrics request counter on the board
+        # so the final scrape carries its own line (one behind, by
+        # construction).
+        _request(transcript, "GET", f"{base}/metrics")
+        _, metrics_text = _request(transcript, "GET", f"{base}/metrics")
+        _require("repro_slo_ok" in metrics_text,
+                 "serve-loop evaluator never set repro_slo_ok")
+        proc.send_signal(signal.SIGTERM)
+        code = proc.wait(timeout=90)
+        _require(code == 0, f"SIGTERM exit code {code}, wanted graceful 0")
+        transcript.record("graceful_shutdown", exit_code=code)
+
+        from repro.telemetry.timeseries import TimeSeriesStore
+
+        flush = TimeSeriesStore(tsdb_dir).last_snapshot()
+        _require(flush is not None, "no flush snapshot after shutdown")
+        _reconcile_flush(transcript, flush, _scrape_values(metrics_text), ledger_dir)
+
+        # 6. The regression sentinel, across a process boundary.
+        _sentinel(transcript, env, tsdb_dir, healthy, expect_code=0)
+        _sentinel(transcript, env, tsdb_dir, impossible, expect_code=1)
+        ok = True
+    finally:
+        transcript.record("shutdown", server_alive=proc.poll() is None)
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=15)
+        if proc.stdout is not None:
+            transcript.record("server_log", tail=proc.stdout.read()[-8000:])
+        transcript.write(out / "transcript.json", ok)
+    print(f"obs smoke: {'ok' if ok else 'FAILED'} ({len(transcript.steps)} steps, "
+          f"artifacts: {out})")
+    return 0 if ok else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description="repro continuous-observability smoke")
+    parser.add_argument(
+        "--out", default="results/obs_smoke",
+        help="artifact directory (transcript.json, dashboard.html, tsdb, ledger)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        return run_obs_smoke(args.out)
+    except SmokeFailure as exc:
+        print(f"obs smoke: FAILED -- {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -40,6 +40,21 @@ DEFAULT_LEDGER_DIR = "results/ledger"
 LEDGER_SCHEMA_VERSION = 1
 
 
+def _percentile(values: list[float], q: float) -> float:
+    """Linear-interpolated ``q``-percentile of exact samples (0.0 when
+    empty) -- numpy's default 'linear' method, dependency-free."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return round(ordered[0], 3)
+    rank = q * (len(ordered) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    fraction = rank - lo
+    return round(ordered[lo] + (ordered[hi] - ordered[lo]) * fraction, 3)
+
+
 @dataclass
 class LedgerEntry:
     """One simulation run, as recorded in the ledger.
@@ -237,10 +252,11 @@ class RunLedger:
         """Aggregate ledger statistics (``repro ledger`` banner).
 
         Throughput aggregates (``wall_seconds``, ``events``,
-        ``mean_events_per_sec``) cover *simulated* runs only: cache
-        hits record ``wall_seconds == 0.0`` and would otherwise drag
-        the fleet's mean events/sec toward zero on warm-cache sweeps.
-        They are counted separately as ``cache_hits``.
+        ``mean_events_per_sec``, the wall-time percentiles and the
+        per-strategy breakdown) cover *simulated* runs only: cache hits
+        record ``wall_seconds == 0.0`` and would otherwise drag the
+        fleet's mean events/sec toward zero on warm-cache sweeps.  They
+        are counted separately as ``cache_hits``.
         """
         total = 0
         outcomes: dict[str, int] = {}
@@ -249,6 +265,8 @@ class RunLedger:
         cache_hits = 0
         wall = 0.0
         events = 0
+        walls: list[float] = []
+        strategies: dict[str, dict[str, float]] = {}
         engines: set[str] = set()
         first = last = None
         for entry in self.entries():
@@ -259,12 +277,32 @@ class RunLedger:
                 simulated += 1
                 wall += entry.wall_seconds
                 events += entry.events
+                walls.append(entry.wall_seconds)
+                bucket = strategies.setdefault(
+                    entry.strategy, {"runs": 0, "wall_seconds": 0.0, "events": 0}
+                )
+                bucket["runs"] += 1
+                bucket["wall_seconds"] += entry.wall_seconds
+                bucket["events"] += entry.events
             else:
                 cache_hits += 1
             engines.add(entry.engine_version)
             if first is None:
                 first = entry.timestamp
             last = entry.timestamp
+        strategy_summary = {
+            name: {
+                "runs": int(bucket["runs"]),
+                "wall_seconds": round(bucket["wall_seconds"], 3),
+                "events": int(bucket["events"]),
+                "events_per_sec": (
+                    round(bucket["events"] / bucket["wall_seconds"], 1)
+                    if bucket["wall_seconds"] > 0.0
+                    else 0.0
+                ),
+            }
+            for name, bucket in sorted(strategies.items())
+        }
         return {
             "entries": total,
             "outcomes": outcomes,
@@ -274,6 +312,9 @@ class RunLedger:
             "wall_seconds": round(wall, 3),
             "events": events,
             "mean_events_per_sec": round(events / wall, 1) if wall > 0.0 else 0.0,
+            "wall_p50": _percentile(walls, 0.5),
+            "wall_p95": _percentile(walls, 0.95),
+            "strategies": strategy_summary,
             "engine_versions": sorted(engines),
             "first": first,
             "last": last,

@@ -24,6 +24,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "quantile_from_buckets",
 ]
 
 #: Default histogram bucket bounds (seconds-flavoured but unit-free).
@@ -50,6 +51,44 @@ def _format_value(value: float) -> str:
     if isinstance(value, float) and value.is_integer():
         return str(int(value))
     return repr(value) if isinstance(value, float) else str(value)
+
+
+def quantile_from_buckets(
+    bounds: Iterable[float],
+    counts: Iterable[float],
+    total: float,
+    q: float,
+) -> float | None:
+    """Estimate the ``q``-quantile from per-bucket observation counts.
+
+    ``bounds`` are the finite upper bounds, ``counts`` the
+    *non-cumulative* per-bucket counts (the internal / ``to_json``
+    representation), ``total`` the overall observation count (which may
+    exceed ``sum(counts)`` when observations landed in the implicit
+    ``+Inf`` bucket).  Mirrors PromQL ``histogram_quantile``: linear
+    interpolation inside the target bucket, the first bucket
+    interpolated from zero, and the +Inf bucket clamped to the largest
+    finite bound.  Returns None when there are no observations.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    bounds = [float(b) for b in bounds]
+    counts = [float(c) for c in counts]
+    if len(bounds) != len(counts):
+        raise ValueError("bounds and counts must have the same length")
+    if total <= 0:
+        return None
+    rank = q * total
+    cumulative = 0.0
+    for idx, (bound, count) in enumerate(zip(bounds, counts)):
+        if cumulative + count >= rank and count > 0:
+            lower = bounds[idx - 1] if idx > 0 else 0.0
+            fraction = (rank - cumulative) / count
+            return lower + (bound - lower) * fraction
+        cumulative += count
+    # Rank falls in the +Inf bucket: the bound-free tail.  Clamp to the
+    # largest finite bound, like histogram_quantile.
+    return bounds[-1] if bounds else None
 
 
 def _label_key(labels: Mapping[str, str], names: tuple[str, ...]) -> tuple[str, ...]:
@@ -189,6 +228,20 @@ class Histogram(_Metric):
     def sum(self, **labels: str) -> float:
         """Sum of observed values for the labelled sample."""
         return self._sums.get(_label_key(labels, self.labelnames), 0.0)
+
+    def quantile(self, q: float, **labels: str) -> float | None:
+        """Estimated ``q``-quantile for the labelled sample.
+
+        Linear interpolation within cumulative buckets (the
+        ``histogram_quantile`` estimator); None when the sample has no
+        observations.  The estimate's resolution is the bucket layout --
+        exact values are unrecoverable from bucket counts by design.
+        """
+        key = _label_key(labels, self.labelnames)
+        total = self._totals.get(key, 0)
+        if not total:
+            return None
+        return quantile_from_buckets(self.buckets, self._counts[key], total, q)
 
     def render(self) -> list[str]:
         lines = self.header_lines()

@@ -198,6 +198,122 @@ class TestTraceCli:
         assert entry.trace_id == doc["trace_ids"]["Water/NP@4c"]
 
 
+class TestObservabilityCli:
+    """`repro bench --history`, `repro slo check`, `repro dash`, and the
+    extended `repro ledger` banner."""
+
+    REPORT = {
+        "current": {"events_per_sec": 100000.0},
+        "history": [
+            {"timestamp": "2026-08-01T00:00:00+00:00", "events_per_sec": 100000.0,
+             "workload": "Water", "num_cpus": 4, "scale": 0.3, "quick": True,
+             "engine_version": "2"},
+            {"timestamp": "2026-08-02T00:00:00+00:00", "events_per_sec": 120000.0,
+             "workload": "Water", "num_cpus": 4, "scale": 0.3, "quick": True,
+             "engine_version": "2"},
+        ],
+    }
+
+    def _write_report(self, tmp_path):
+        import json
+
+        path = tmp_path / "BENCH_engine.json"
+        path.write_text(json.dumps(self.REPORT), encoding="utf-8")
+        return path
+
+    def test_bench_history_empty_report(self, tmp_path, capsys):
+        args = ["bench", "--history", "--file", str(tmp_path / "none.json"),
+                "--tsdb", ""]
+        assert main(args) == 0
+        assert "no bench history" in capsys.readouterr().out
+
+    def test_bench_history_trend_and_tsdb_seed(self, tmp_path, capsys):
+        report = self._write_report(tmp_path)
+        tsdb = str(tmp_path / "tsdb")
+        args = ["bench", "--history", "--file", str(report), "--tsdb", tsdb]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "2 history entries" in out
+        assert "+20.0%" in out  # delta vs the comparable previous entry
+        assert "trend:" in out
+        assert "seeded 2 new snapshot(s)" in out
+        # Re-seeding is idempotent.
+        assert main(args) == 0
+        assert "seeded 0 new snapshot(s)" in capsys.readouterr().out
+
+    def test_slo_check_exit_codes(self, tmp_path, capsys):
+        report = self._write_report(tmp_path)
+        tsdb = str(tmp_path / "tsdb")
+        healthy = tmp_path / "healthy.toml"
+        # Year-wide windows: the seeded bench points carry their own
+        # (old) timestamps, not the snapshot time.
+        healthy.write_text(
+            '[[slo]]\nname = "bench-floor"\n'
+            'series = "repro_bench_events_per_sec"\n'
+            'op = ">="\nthreshold = 1.0\nwindow_seconds = 31536000.0\n'
+        )
+        impossible = tmp_path / "impossible.toml"
+        impossible.write_text(
+            '[[slo]]\nname = "bench-sky"\n'
+            'series = "repro_bench_events_per_sec"\n'
+            'op = ">="\nthreshold = 999999999999.0\n'
+            'window_seconds = 31536000.0\n'
+        )
+        base = ["slo", "check", "--tsdb", tsdb,
+                "--bench-file", str(report),
+                "--ledger-dir", str(tmp_path / "ledger")]
+
+        assert main([*base, "--snapshot", "--rules", str(healthy)]) == 0
+        out = capsys.readouterr().out
+        assert "appended 1 ledger snapshot" in out and "OK" in out
+
+        report_json = tmp_path / "slo.json"
+        code = main([*base, "--rules", str(impossible), "--json", str(report_json)])
+        assert code == 1  # the regression sentinel's nonzero exit
+        assert "BREACHED" in capsys.readouterr().out
+        import json
+
+        doc = json.loads(report_json.read_text())
+        assert doc["ok"] is False and doc["breaches"] == 1
+        assert doc["rules"][0]["name"] == "bench-sky"
+
+    def test_dash_empty_store_hints(self, tmp_path, capsys):
+        args = ["dash", "--tsdb", str(tmp_path / "tsdb")]
+        assert main(args) == 0
+        assert "no snapshots yet" in capsys.readouterr().out
+
+    def test_dash_renders_sparklines_and_slo(self, tmp_path, capsys):
+        report = self._write_report(tmp_path)
+        tsdb = str(tmp_path / "tsdb")
+        assert main(["bench", "--history", "--file", str(report),
+                     "--tsdb", tsdb]) == 0
+        capsys.readouterr()
+        args = ["dash", "--tsdb", tsdb, "--bench-file", str(report),
+                "--ledger-dir", str(tmp_path / "ledger")]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "repro dash --" in out and "snapshots in" in out
+        assert "engine bench events/sec" in out
+
+    def test_ledger_banner_percentiles_and_strategies(self, tmp_path, capsys):
+        from tests.test_telemetry import _entry
+
+        from repro.telemetry.ledger import RunLedger
+
+        ledger = RunLedger(tmp_path)
+        ledger.append(_entry(config_key="a", strategy="NP",
+                             wall_seconds=1.0, events=1000))
+        ledger.append(_entry(config_key="b", strategy="PREF",
+                             wall_seconds=2.0, events=4000))
+        ledger.append(_entry(config_key="c", strategy="PREF", cache="hit",
+                             wall_seconds=0.0, events=0))
+        assert main(["ledger", "--ledger-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "wall time per simulated run: p50 1.500s, p95 1.950s" in out
+        assert "per-strategy throughput" in out
+        assert "NP" in out and "PREF" in out
+
+
 class TestAdaptCli:
     def test_simulate_adapt(self, capsys):
         args = ["simulate", "--workload", "Water", "--strategy", "ADAPT", *SMALL]

@@ -835,3 +835,128 @@ class TestSatellites:
         assert stats["hits"] == 1 and stats["misses"] == 1
         assert stats["stores"] == 1 and stats["entries"] == 1
         assert stats["bytes"] > 0
+
+
+# ------------------------------------------- exposition goldens (PR 10)
+
+
+class TestExpositionGoldens:
+    """Prometheus text-format edge cases pinned as exact goldens.
+
+    The TSDB reconciliation smoke compares snapshot-derived values
+    against this exposition byte-for-byte, so the format itself must be
+    frozen: +Inf bucket lines, label-value escaping, empty registry.
+    """
+
+    def test_infinity_bucket_line(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat_seconds", "latency", buckets=(0.5, float("inf")))
+        h.observe(0.25)
+        h.observe(99.0)
+        assert reg.render_prometheus() == (
+            "# HELP lat_seconds latency\n"
+            "# TYPE lat_seconds histogram\n"
+            'lat_seconds_bucket{le="0.5"} 1\n'
+            'lat_seconds_bucket{le="+Inf"} 2\n'
+            'lat_seconds_bucket{le="+Inf"} 2\n'
+            "lat_seconds_sum 99.25\n"
+            "lat_seconds_count 2\n"
+        )
+
+    def test_label_value_escaping_golden(self):
+        reg = MetricsRegistry()
+        c = reg.counter("weird_total", "weird labels", ("path",))
+        c.inc(1, path='a"b')
+        c.inc(2, path="c\\d")
+        c.inc(3, path="e\nf")
+        assert reg.render_prometheus() == (
+            "# HELP weird_total weird labels\n"
+            "# TYPE weird_total counter\n"
+            'weird_total{path="a\\"b"} 1\n'
+            'weird_total{path="c\\\\d"} 2\n'
+            'weird_total{path="e\\nf"} 3\n'
+        )
+
+    def test_empty_registry_exposition(self):
+        assert MetricsRegistry().render_prometheus() == ""
+        assert MetricsRegistry().to_json() == {}
+
+    def test_empty_family_renders_headers_only(self):
+        reg = MetricsRegistry()
+        reg.counter("quiet_total", "never incremented")
+        assert reg.render_prometheus() == (
+            "# HELP quiet_total never incremented\n"
+            "# TYPE quiet_total counter\n"
+        )
+
+
+# ------------------------------------------- histogram quantiles (PR 10)
+
+
+class TestHistogramQuantile:
+    def test_quantile_against_known_samples(self):
+        from repro.telemetry.registry import quantile_from_buckets
+
+        reg = MetricsRegistry()
+        h = reg.histogram("q", "q", buckets=(1.0, 2.0, 4.0, 8.0))
+        # 10 samples: 5 in (0,1], 3 in (1,2], 2 in (2,4].
+        for v in (0.1, 0.3, 0.5, 0.7, 0.9, 1.2, 1.5, 1.8, 2.5, 3.5):
+            h.observe(v)
+        # p50 rank = 5.0 -> exactly the top of the first bucket.
+        assert h.quantile(0.5) == pytest.approx(1.0)
+        # p80 rank = 8.0 -> top of the second bucket.
+        assert h.quantile(0.8) == pytest.approx(2.0)
+        # p90 rank 9.0 -> halfway through the (2,4] bucket.
+        assert h.quantile(0.9) == pytest.approx(3.0)
+        assert h.quantile(0.0) == pytest.approx(0.0)
+        # Shared estimator agrees with the method.
+        assert quantile_from_buckets((1.0, 2.0, 4.0, 8.0), (5, 3, 2, 0), 10, 0.9) == (
+            pytest.approx(3.0)
+        )
+
+    def test_quantile_inf_tail_clamps_to_last_bound(self):
+        h = MetricsRegistry().histogram("q", "q", buckets=(1.0, 2.0))
+        h.observe(100.0)  # lands only in +Inf
+        assert h.quantile(0.99) == pytest.approx(2.0)
+
+    def test_quantile_empty_and_labelled(self):
+        h = MetricsRegistry().histogram("q", "q", ("route",), buckets=(1.0,))
+        assert h.quantile(0.5, route="/x") is None
+        h.observe(0.5, route="/x")
+        # rank 0.5 of 1 sample: halfway into the (0, 1] bucket.
+        assert h.quantile(0.5, route="/x") == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            h.quantile(1.5, route="/x")
+
+
+# ------------------------------------- summarize percentiles (PR 10)
+
+
+class TestSummarizePercentiles:
+    def test_wall_percentiles_and_strategy_breakdown(self, tmp_path):
+        ledger = RunLedger(tmp_path)
+        # 4 simulated runs (two strategies) + 1 cache hit (excluded).
+        for i, (strategy, wall, events) in enumerate(
+            [("NP", 1.0, 1000), ("NP", 3.0, 3000), ("PREF", 2.0, 8000), ("PREF", 4.0, 4000)]
+        ):
+            ledger.append(
+                _entry(config_key=f"k{i}", strategy=strategy, wall_seconds=wall, events=events)
+            )
+        ledger.append(_entry(config_key="hit", cache="hit", wall_seconds=0.0, events=0))
+        summary = ledger.summarize()
+        assert summary["simulated_runs"] == 4 and summary["cache_hits"] == 1
+        # Sorted walls [1,2,3,4]: p50 interpolates to 2.5, p95 to 3.85.
+        assert summary["wall_p50"] == pytest.approx(2.5)
+        assert summary["wall_p95"] == pytest.approx(3.85)
+        np_stats = summary["strategies"]["NP"]
+        assert np_stats["runs"] == 2
+        assert np_stats["events_per_sec"] == pytest.approx(1000.0)  # 4000 ev / 4 s
+        pref_stats = summary["strategies"]["PREF"]
+        assert pref_stats["events_per_sec"] == pytest.approx(2000.0)  # 12000 ev / 6 s
+        # Cache hits contribute to neither percentile nor breakdown.
+        assert "hit" not in summary["strategies"]
+
+    def test_empty_ledger_percentiles(self, tmp_path):
+        summary = RunLedger(tmp_path).summarize()
+        assert summary["wall_p50"] == 0.0 and summary["wall_p95"] == 0.0
+        assert summary["strategies"] == {}
